@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's evaluation tables (1-6) on
+// the synthetic Table-1 suite.
+//
+// Usage:
+//
+//	experiments [-table N] [-procs P] [-small]
+//
+// Without -table, all six tables are printed. -small runs the reduced
+// suite (fast; for smoke tests). Absolute values are not comparable to the
+// paper (scaled matrices, simulated machine); the shape of the gains is.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	table := flag.Int("table", 0, "table to regenerate (1-6; 0 = all)")
+	procs := flag.Int("procs", 32, "simulated processor count")
+	small := flag.Bool("small", false, "use the reduced suite")
+	extras := flag.Bool("extras", false, "also print the extension tables (E1 hybrid, E2 out-of-core)")
+	flag.Parse()
+
+	r := experiments.NewRunner(*procs, *small)
+	emit := func(t *metrics.Table, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	want := func(n int) bool { return *table == 0 || *table == n }
+
+	if want(1) {
+		t, err := r.Table1()
+		emit(t, err)
+	}
+	if want(2) {
+		t, _, err := r.Table2()
+		emit(t, err)
+	}
+	if want(3) {
+		t, _, err := r.Table3()
+		emit(t, err)
+	}
+	if want(4) {
+		t, err := r.Table4()
+		emit(t, err)
+	}
+	if want(5) {
+		t, _, err := r.Table5()
+		emit(t, err)
+	}
+	if want(6) {
+		t, _, err := r.Table6()
+		emit(t, err)
+	}
+	if *table < 0 || *table > 6 {
+		fmt.Fprintln(os.Stderr, "tables are numbered 1-6")
+		os.Exit(2)
+	}
+	if *extras {
+		t, err := r.TableE1()
+		emit(t, err)
+		t, err = r.TableE2()
+		emit(t, err)
+	}
+}

@@ -1,0 +1,62 @@
+// Outofcore: quantifies the out-of-core argument of the paper's
+// conclusion. Factors are written once and "not reaccessed before the
+// solve phase", so they can live on disk; what must stay in memory is
+// the stack (contribution blocks + active fronts). This example compares,
+// per strategy:
+//
+//	in-core total peak   max over procs of factors + stack + fronts
+//	stack peak           max over procs of stack + fronts (the paper's metric)
+//
+// The gap is the memory an out-of-core execution saves — and the reason
+// the paper says minimizing the stack "is crucial": it is all that
+// remains once factors are on disk.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/order"
+	"repro/internal/parsim"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	const procs = 32
+	p, err := workload.ByName(workload.Suite(), "PRE2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := p.Matrix()
+	fmt.Printf("%s: n=%d nnz=%d, %d simulated processors\n\n", p.Name, a.N, a.NNZ(), procs)
+
+	t := metrics.New("peaks in matrix entries (max over processors)",
+		"ordering", "strategy", "in-core total", "stack (OOC resident)", "OOC saving %")
+	for _, m := range order.Methods {
+		an, err := core.Analyze(a, core.DefaultConfig(m, procs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range []struct {
+			name string
+			st   parsim.Strategy
+		}{
+			{"workload", parsim.Workload()},
+			{"memory-based", parsim.MemoryBased()},
+		} {
+			res, err := an.Simulate(s.st)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.AddRow(m.String(), s.name, res.MaxTotalPeak, res.MaxActivePeak,
+				fmt.Sprintf("%.1f", metrics.PercentDecrease(res.MaxTotalPeak, res.MaxActivePeak)))
+		}
+	}
+	fmt.Println(t.Render())
+	fmt.Println("With factors out of core, the resident set shrinks by the saving")
+	fmt.Println("column — and the memory-based strategy shrinks precisely the part")
+	fmt.Println("that remains resident.")
+}

@@ -1,0 +1,103 @@
+// Tracing: record per-processor memory traces during the simulated
+// parallel factorization and render them as ASCII sparklines — the
+// Figure 4/6/8-style memory-evolution view of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/order"
+	"repro/internal/parsim"
+	"repro/internal/sparse"
+)
+
+const (
+	cols  = 72
+	procs = 4
+)
+
+func main() {
+	log.SetFlags(0)
+	a := sparse.Grid3D(12, 12, 12)
+	an, err := core.Analyze(a, core.DefaultConfig(order.AMF, procs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range []struct {
+		name string
+		st   parsim.Strategy
+	}{
+		{"workload-based", parsim.Workload()},
+		{"memory-based", parsim.MemoryBased()},
+	} {
+		res, err := an.SimulateTraced(s.st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s strategy: max peak %d entries, makespan %.1f ms ===\n",
+			s.name, res.MaxActivePeak, float64(res.Makespan)/1e6)
+		for p, tr := range res.Traces {
+			fmt.Printf("P%d |%s| peak %d\n", p, sparkline(tr, res), peak(tr))
+		}
+		fmt.Println()
+	}
+	fmt.Println("Each row is one processor's active memory (CB stack + fronts) over")
+	fmt.Println("virtual time; ' .:-=+*#%@' spans 0..global peak. The memory-based")
+	fmt.Println("strategy flattens and balances the profiles.")
+}
+
+func peak(tr []memory.TracePoint) int64 {
+	var m int64
+	for _, t := range tr {
+		if t.Active > m {
+			m = t.Active
+		}
+	}
+	return m
+}
+
+func sparkline(tr []memory.TracePoint, res *parsim.Result) string {
+	ramp := []byte(" .:-=+*#%@")
+	if len(tr) == 0 {
+		return strings.Repeat(" ", cols)
+	}
+	end := res.Makespan
+	if end == 0 {
+		end = 1
+	}
+	// Sample the max active memory in each time bucket.
+	buckets := make([]int64, cols)
+	var cur int64
+	bi := 0
+	for _, t := range tr {
+		idx := int(int64(t.T) * int64(cols) / int64(end))
+		if idx >= cols {
+			idx = cols - 1
+		}
+		for bi < idx {
+			bi++
+			buckets[bi] = cur
+		}
+		if t.Active > buckets[idx] {
+			buckets[idx] = t.Active
+		}
+		cur = t.Active
+	}
+	var gmax int64 = 1
+	if m := res.MaxActivePeak; m > 0 {
+		gmax = m
+	}
+	out := make([]byte, cols)
+	for i, v := range buckets {
+		k := int(v * int64(len(ramp)-1) / gmax)
+		if k >= len(ramp) {
+			k = len(ramp) - 1
+		}
+		out[i] = ramp[k]
+	}
+	return string(out)
+}

@@ -1,0 +1,124 @@
+package assembly
+
+import "repro/internal/sparse"
+
+// Cost model (paper Sections 2-3). All sizes are in matrix entries, flops
+// in floating-point operations. The unsymmetric front is a full nfront x
+// nfront dense matrix; the symmetric front stores the lower triangle.
+//
+//	factor block:        npiv pivot rows/cols
+//	contribution block:  the trailing (nfront-npiv)^2 (or triangle)
+//
+// The workload metric of MUMPS counts elimination flops only ("an order of
+// magnitude larger than the operations for assembly").
+
+// FactorEntries returns the number of factor entries produced by the node.
+func FactorEntries(nd *Node, kind sparse.Type) int64 {
+	p := int64(nd.NPiv())
+	f := int64(nd.NFront())
+	if kind == sparse.Symmetric {
+		// L columns: sum_{k=0}^{p-1} (f-k) = p*f - p(p-1)/2
+		return p*f - p*(p-1)/2
+	}
+	// L and U: full front minus CB: f^2 - (f-p)^2
+	c := f - p
+	return f*f - c*c
+}
+
+// CBEntries returns the size of the node's contribution block.
+func CBEntries(nd *Node, kind sparse.Type) int64 {
+	c := int64(nd.NCB())
+	if kind == sparse.Symmetric {
+		return c * (c + 1) / 2
+	}
+	return c * c
+}
+
+// FrontEntries returns the size of the active frontal matrix.
+func FrontEntries(nd *Node, kind sparse.Type) int64 {
+	f := int64(nd.NFront())
+	if kind == sparse.Symmetric {
+		return f * (f + 1) / 2
+	}
+	return f * f
+}
+
+// MasterEntries returns the size of the type-2 master part: the npiv pivot
+// rows of the front (unsymmetric 1D row blocking, Figure 3). For symmetric
+// fronts the master holds the npiv x nfront trapezoid's lower part.
+func MasterEntries(nd *Node, kind sparse.Type) int64 {
+	p := int64(nd.NPiv())
+	f := int64(nd.NFront())
+	if kind == sparse.Symmetric {
+		return p*f - p*(p-1)/2
+	}
+	return p * f
+}
+
+// EliminationFlops returns the flop count of the partial factorization of
+// the front: for each of the npiv pivots k, a rank-1 update of the trailing
+// (f-k-1)^2 block (unsymmetric) plus the pivot column scaling.
+func EliminationFlops(nd *Node, kind sparse.Type) int64 {
+	p := int64(nd.NPiv())
+	f := int64(nd.NFront())
+	var flops int64
+	// sum_{k=1}^{p} [ (f-k) divisions + 2*(f-k)^2 update ]
+	// closed forms: S1 = sum (f-k) = p*f - p(p+1)/2
+	// S2 = sum (f-k)^2 = sum_{m=f-p}^{f-1} m^2
+	s1 := p*f - p*(p+1)/2
+	s2 := sumSquares(f-1) - sumSquares(f-p-1)
+	flops = s1 + 2*s2
+	if kind == sparse.Symmetric {
+		flops = flops/2 + s1/2
+	}
+	return flops
+}
+
+func sumSquares(m int64) int64 {
+	if m < 0 {
+		return 0
+	}
+	return m * (m + 1) * (2*m + 1) / 6
+}
+
+// AssemblyFlops returns the (small) cost of assembling the children's
+// contribution blocks into the front: one add per CB entry.
+func AssemblyFlops(t *Tree, nd *Node) int64 {
+	var fl int64
+	for _, c := range nd.Children {
+		fl += CBEntries(&t.Nodes[c], t.Kind)
+	}
+	return fl
+}
+
+// SubtreeFlops returns, for every node, the total elimination flops of its
+// subtree (the workload metric used to map subtrees to processors).
+func SubtreeFlops(t *Tree) []int64 {
+	fl := make([]int64, len(t.Nodes))
+	for _, i := range t.Postorder() {
+		nd := &t.Nodes[i]
+		fl[i] = EliminationFlops(nd, t.Kind)
+		for _, c := range nd.Children {
+			fl[i] += fl[c]
+		}
+	}
+	return fl
+}
+
+// TotalFactorEntries sums FactorEntries over the tree.
+func TotalFactorEntries(t *Tree) int64 {
+	var s int64
+	for i := range t.Nodes {
+		s += FactorEntries(&t.Nodes[i], t.Kind)
+	}
+	return s
+}
+
+// TotalFlops sums EliminationFlops over the tree.
+func TotalFlops(t *Tree) int64 {
+	var s int64
+	for i := range t.Nodes {
+		s += EliminationFlops(&t.Nodes[i], t.Kind)
+	}
+	return s
+}

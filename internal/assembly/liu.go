@@ -1,0 +1,87 @@
+package assembly
+
+import "sort"
+
+// Liu's child-ordering theory for stack memory (reference [15] of the
+// paper; the pool of tasks is initialized "to minimize the memory of each
+// subtree using a variant of the algorithm by Liu").
+//
+// Processing children of a node in sequence, the stack holds the CBs of
+// already-processed siblings while the current child's subtree runs. The
+// peak of node v is
+//
+//	P(v) = max( max_j ( sum_{k<j} cb_k + P(child_j) ),
+//	            sum_k cb_k + front(v) )
+//
+// and is minimized by processing children in decreasing P(child) - cb(child)
+// order (Liu 1986).
+
+// SequentialPeaks returns, for every node, the sequential stack peak (in
+// entries) of processing its subtree with the *current* child order. The
+// stack holds contribution blocks; the active front is counted while the
+// node is being assembled/factorized.
+func SequentialPeaks(t *Tree) []int64 {
+	peaks := make([]int64, len(t.Nodes))
+	for _, i := range t.Postorder() {
+		nd := &t.Nodes[i]
+		var stacked, peak int64
+		for _, c := range nd.Children {
+			if p := stacked + peaks[c]; p > peak {
+				peak = p
+			}
+			stacked += CBEntries(&t.Nodes[c], t.Kind)
+		}
+		// All children CBs stacked plus the node's own front. (The CBs are
+		// consumed during assembly; the conservative model keeps them until
+		// the front is fully assembled, as MUMPS does for remote CBs.)
+		if p := stacked + FrontEntries(nd, t.Kind); p > peak {
+			peak = p
+		}
+		peaks[i] = peak
+	}
+	return peaks
+}
+
+// SortChildrenLiu reorders every node's child list in decreasing
+// P(child) - cb(child), which minimizes the sequential stack peak. Ties
+// break on node ID for determinism. Returns the resulting peaks.
+func SortChildrenLiu(t *Tree) []int64 {
+	peaks := make([]int64, len(t.Nodes))
+	for _, i := range t.Postorder() {
+		nd := &t.Nodes[i]
+		ch := nd.Children
+		sort.SliceStable(ch, func(a, b int) bool {
+			ka := peaks[ch[a]] - CBEntries(&t.Nodes[ch[a]], t.Kind)
+			kb := peaks[ch[b]] - CBEntries(&t.Nodes[ch[b]], t.Kind)
+			if ka != kb {
+				return ka > kb
+			}
+			return ch[a] < ch[b]
+		})
+		var stacked, peak int64
+		for _, c := range ch {
+			if p := stacked + peaks[c]; p > peak {
+				peak = p
+			}
+			stacked += CBEntries(&t.Nodes[c], t.Kind)
+		}
+		if p := stacked + FrontEntries(nd, t.Kind); p > peak {
+			peak = p
+		}
+		peaks[i] = peak
+	}
+	return peaks
+}
+
+// TreePeak returns the overall sequential stack peak for the whole forest
+// (roots processed one after another; a root's CB is empty so nothing
+// remains between roots).
+func TreePeak(peaks []int64, t *Tree) int64 {
+	var m int64
+	for _, r := range t.Roots {
+		if peaks[r] > m {
+			m = peaks[r]
+		}
+	}
+	return m
+}

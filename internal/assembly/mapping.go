@@ -1,0 +1,334 @@
+package assembly
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Static scheduling decisions (paper Section 3): leaf subtrees are built
+// with the Geist-Ng top-down algorithm and mapped to processors to balance
+// their computational work; upper-layer nodes get a node type (1, 2 or 3)
+// from their front size, and type-1 nodes / type-2 masters are statically
+// assigned to balance the memory of their factors.
+
+// NodeType is the parallelism type of an assembly-tree node.
+type NodeType int
+
+const (
+	// Type1 nodes are processed entirely by one processor.
+	Type1 NodeType = iota + 1
+	// Type2 nodes use 1D row-block parallelism: a static master, dynamic
+	// slaves.
+	Type2
+	// Type3 is the root node, processed 2D block-cyclically by everyone.
+	Type3
+)
+
+func (t NodeType) String() string {
+	switch t {
+	case Type1:
+		return "T1"
+	case Type2:
+		return "T2"
+	case Type3:
+		return "T3"
+	default:
+		return "T?"
+	}
+}
+
+// Mapping is the static schedule of a tree on P processors.
+type Mapping struct {
+	P        int
+	Types    []NodeType // per node
+	Proc     []int      // per node: owner (type 1) or master (type 2/3)
+	Subtree  []int      // per node: subtree id, or -1 if in the upper part
+	SubRoot  []int      // per subtree: its root node
+	SubProc  []int      // per subtree: assigned processor
+	SubPeak  []int64    // per subtree: sequential stack peak (entries)
+	SubFlops []int64    // per subtree: total elimination flops
+}
+
+// MapOptions configures the static mapping.
+type MapOptions struct {
+	P int // number of processors
+	// SubtreeSplitRatio: keep splitting candidate subtrees while the
+	// heaviest exceeds totalFlops/(ratio*P). Geist-Ng style. Larger ratios
+	// push the subtree layer lower, enlarging the dynamically-scheduled
+	// upper part (the paper: on large processor counts ~80% of the flops
+	// are in type-2 nodes).
+	SubtreeSplitRatio float64
+	// SubtreePeakFrac additionally splits subtrees whose sequential stack
+	// peak exceeds this fraction of the whole tree's sequential peak —
+	// the "static splitting of subtrees with a large memory cost" the
+	// paper couples to its subtree broadcasts (Section 5.1): without it,
+	// subtree-peak projections dwarf the upper-tree memory and distort
+	// the slave-selection metric. <=0 disables memory-based splitting.
+	SubtreePeakFrac float64
+	// Type2MinFront: fronts at least this large (and below the root) use 1D
+	// parallelism when more than one processor is available. <=0 derives a
+	// threshold from the tree's largest front.
+	Type2MinFront int
+	// Type3MinFront: a root front at least this large is processed 2D by
+	// all processors. <=0 derives a threshold from the largest front.
+	Type3MinFront int
+}
+
+// DefaultMapOptions mirrors MUMPS-like settings: thresholds adapt to the
+// tree so that the large upper fronts are type 2 regardless of problem
+// scale.
+func DefaultMapOptions(p int) MapOptions {
+	return MapOptions{
+		P:                 p,
+		SubtreeSplitRatio: 8,
+		SubtreePeakFrac:   2 / float64(p),
+		Type2MinFront:     0,
+		Type3MinFront:     0,
+	}
+}
+
+// Map computes the static schedule: Geist-Ng subtrees, subtree→processor
+// assignment (LPT on flops), node types and static owners for upper nodes
+// (balancing factor memory, as in the paper: "the mapping ... only aims at
+// balancing the memory of the corresponding factors").
+func Map(t *Tree, opt MapOptions) *Mapping {
+	if opt.P < 1 {
+		opt.P = 1
+	}
+	if opt.SubtreeSplitRatio <= 0 {
+		opt.SubtreeSplitRatio = 2
+	}
+	m := &Mapping{
+		P:       opt.P,
+		Types:   make([]NodeType, len(t.Nodes)),
+		Proc:    make([]int, len(t.Nodes)),
+		Subtree: make([]int, len(t.Nodes)),
+	}
+	for i := range m.Subtree {
+		m.Subtree[i] = -1
+		m.Proc[i] = -1
+	}
+	maxFront := 0
+	for i := range t.Nodes {
+		if f := t.Nodes[i].NFront(); f > maxFront {
+			maxFront = f
+		}
+	}
+	if opt.Type2MinFront <= 0 {
+		opt.Type2MinFront = maxFront / 8
+		if opt.Type2MinFront < 32 {
+			opt.Type2MinFront = 32
+		}
+	}
+	if opt.Type3MinFront <= 0 {
+		opt.Type3MinFront = maxFront / 2
+		if opt.Type3MinFront < 128 {
+			opt.Type3MinFront = 128
+		}
+	}
+	flops := SubtreeFlops(t)
+	peaks := SequentialPeaks(t)
+
+	roots := geistNg(t, flops, peaks, opt)
+	// Map subtrees to processors: LPT (descending flops, least-loaded proc).
+	type st struct {
+		root  int
+		flops int64
+	}
+	subs := make([]st, 0, len(roots))
+	for _, r := range roots {
+		subs = append(subs, st{r, flops[r]})
+	}
+	sort.Slice(subs, func(a, b int) bool {
+		if subs[a].flops != subs[b].flops {
+			return subs[a].flops > subs[b].flops
+		}
+		return subs[a].root < subs[b].root
+	})
+	procLoad := make([]int64, opt.P)
+	for si, s := range subs {
+		best := 0
+		for p := 1; p < opt.P; p++ {
+			if procLoad[p] < procLoad[best] {
+				best = p
+			}
+		}
+		procLoad[best] += s.flops
+		m.SubRoot = append(m.SubRoot, s.root)
+		m.SubProc = append(m.SubProc, best)
+		m.SubPeak = append(m.SubPeak, peaks[s.root])
+		m.SubFlops = append(m.SubFlops, s.flops)
+		// Tag all nodes of the subtree.
+		stack := []int{s.root}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			m.Subtree[v] = si
+			m.Types[v] = Type1
+			m.Proc[v] = best
+			stack = append(stack, t.Nodes[v].Children...)
+		}
+	}
+
+	// Upper part: assign types and static owners.
+	// Identify the global root (largest root front) for type 3.
+	globalRoot := -1
+	for _, r := range t.Roots {
+		if globalRoot < 0 || t.Nodes[r].NFront() > t.Nodes[globalRoot].NFront() {
+			globalRoot = r
+		}
+	}
+	factorMem := make([]int64, opt.P)
+	// Seed factor balance with subtree factor memory.
+	for i := range t.Nodes {
+		if m.Subtree[i] >= 0 {
+			factorMem[m.Proc[i]] += FactorEntries(&t.Nodes[i], t.Kind)
+		}
+	}
+	for _, i := range t.Postorder() {
+		if m.Subtree[i] >= 0 {
+			continue // already mapped
+		}
+		nd := &t.Nodes[i]
+		switch {
+		case opt.P > 1 && i == globalRoot && nd.NFront() >= opt.Type3MinFront:
+			m.Types[i] = Type3
+		case opt.P > 1 && nd.NFront() >= opt.Type2MinFront:
+			m.Types[i] = Type2
+		default:
+			m.Types[i] = Type1
+		}
+		// Static owner balancing factor memory. For type 2, only the master
+		// part is statically placed; for type 3 every processor holds a
+		// 1/P share (owner is just the coordinator).
+		best := 0
+		for p := 1; p < opt.P; p++ {
+			if factorMem[p] < factorMem[best] {
+				best = p
+			}
+		}
+		m.Proc[i] = best
+		switch m.Types[i] {
+		case Type2:
+			factorMem[best] += MasterEntries(nd, t.Kind)
+		case Type3:
+			share := FactorEntries(nd, t.Kind) / int64(opt.P)
+			for p := 0; p < opt.P; p++ {
+				factorMem[p] += share
+			}
+		default:
+			factorMem[best] += FactorEntries(nd, t.Kind)
+		}
+	}
+	return m
+}
+
+// geistNg builds the leaf-subtree set with the Geist-Ng top-down algorithm:
+// starting from the roots, repeatedly replace the heaviest candidate by its
+// children until the heaviest is below totalFlops/(ratio*P) (or has no
+// children). Candidates whose sequential stack peak exceeds the memory
+// threshold are split too (the paper's memory-based subtree splitting).
+// Leaf candidates that cannot be split stay as subtrees.
+func geistNg(t *Tree, flops, peaks []int64, opt MapOptions) []int {
+	if opt.P == 1 {
+		return append([]int(nil), t.Roots...)
+	}
+	var total int64
+	for _, r := range t.Roots {
+		total += flops[r]
+	}
+	threshold := total / int64(float64(opt.P)*opt.SubtreeSplitRatio)
+	if threshold < 1 {
+		threshold = 1
+	}
+	var peakThreshold int64
+	if opt.SubtreePeakFrac > 0 {
+		var maxPeak int64
+		for _, r := range t.Roots {
+			if peaks[r] > maxPeak {
+				maxPeak = peaks[r]
+			}
+		}
+		peakThreshold = int64(opt.SubtreePeakFrac * float64(maxPeak))
+		if peakThreshold < 1 {
+			peakThreshold = 1
+		}
+	}
+	tooBig := func(v int) bool {
+		if flops[v] > threshold {
+			return true
+		}
+		return peakThreshold > 0 && peaks[v] > peakThreshold
+	}
+	pool := append([]int(nil), t.Roots...)
+	var done []int
+	for {
+		// Find heaviest splittable candidate over the threshold.
+		hi := -1
+		for k, v := range pool {
+			if len(t.Nodes[v].Children) == 0 || !tooBig(v) {
+				continue
+			}
+			if hi < 0 || flops[v] > flops[pool[hi]] ||
+				(flops[v] == flops[pool[hi]] && v < pool[hi]) {
+				hi = k
+			}
+		}
+		if hi < 0 {
+			break
+		}
+		v := pool[hi]
+		pool = append(pool[:hi], pool[hi+1:]...)
+		pool = append(pool, t.Nodes[v].Children...)
+	}
+	done = append(done, pool...)
+	sort.Ints(done)
+	return done
+}
+
+// UpperNodes returns the nodes not inside any subtree, in postorder.
+func (m *Mapping) UpperNodes(t *Tree) []int {
+	var out []int
+	for _, i := range t.Postorder() {
+		if m.Subtree[i] < 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Validate checks mapping invariants.
+func (m *Mapping) Validate(t *Tree) error {
+	for i := range t.Nodes {
+		if m.Proc[i] < 0 || m.Proc[i] >= m.P {
+			return errf("node %d unmapped (proc %d)", i, m.Proc[i])
+		}
+		if m.Types[i] < Type1 || m.Types[i] > Type3 {
+			return errf("node %d has no type", i)
+		}
+		if m.Subtree[i] >= 0 {
+			if m.Types[i] != Type1 {
+				return errf("subtree node %d has type %v", i, m.Types[i])
+			}
+			// Parent chain inside a subtree shares the processor.
+			p := t.Nodes[i].Parent
+			if p >= 0 && m.Subtree[p] == m.Subtree[i] && m.Proc[p] != m.Proc[i] {
+				return errf("subtree %d spans processors", m.Subtree[i])
+			}
+		}
+	}
+	t3 := 0
+	for i := range t.Nodes {
+		if m.Types[i] == Type3 {
+			t3++
+		}
+	}
+	if t3 > 1 {
+		return errf("%d type-3 nodes, want at most 1", t3)
+	}
+	return nil
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("assembly: "+format, args...)
+}

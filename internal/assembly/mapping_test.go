@@ -1,0 +1,148 @@
+package assembly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+func TestMapBasics(t *testing.T) {
+	tree, _ := Analyze(sparse.Grid2D(20, 20), DefaultOptions(order.ND))
+	for _, p := range []int{1, 2, 4, 8} {
+		m := Map(tree, DefaultMapOptions(p))
+		if err := m.Validate(tree); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if len(m.SubRoot) == 0 {
+			t.Fatalf("P=%d: no subtrees", p)
+		}
+	}
+}
+
+func TestMapSingleProc(t *testing.T) {
+	tree, _ := Analyze(sparse.Grid2D(10, 10), DefaultOptions(order.AMD))
+	m := Map(tree, DefaultMapOptions(1))
+	for i := range tree.Nodes {
+		if m.Proc[i] != 0 {
+			t.Fatalf("P=1 node %d on proc %d", i, m.Proc[i])
+		}
+		if m.Types[i] == Type2 || m.Types[i] == Type3 {
+			t.Fatalf("P=1 node %d has parallel type %v", i, m.Types[i])
+		}
+	}
+}
+
+func TestGeistNgProducesEnoughSubtrees(t *testing.T) {
+	tree, _ := Analyze(sparse.Grid3D(8, 8, 8), DefaultOptions(order.ND))
+	p := 8
+	m := Map(tree, DefaultMapOptions(p))
+	if len(m.SubRoot) < p {
+		t.Errorf("only %d subtrees for %d processors", len(m.SubRoot), p)
+	}
+	// Subtree work balance: max proc load within 3x of mean.
+	load := make([]int64, p)
+	for si, pr := range m.SubProc {
+		load[pr] += m.SubFlops[si]
+	}
+	var total, max int64
+	for _, l := range load {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	mean := total / int64(p)
+	if mean > 0 && max > 4*mean {
+		t.Errorf("subtree load imbalance: max %d vs mean %d", max, mean)
+	}
+}
+
+func TestSubtreesAreClosedUnderDescendants(t *testing.T) {
+	tree, _ := Analyze(sparse.Grid2D(24, 24), DefaultOptions(order.ND))
+	m := Map(tree, DefaultMapOptions(4))
+	for i := range tree.Nodes {
+		if m.Subtree[i] < 0 {
+			continue
+		}
+		for _, c := range tree.Nodes[i].Children {
+			if m.Subtree[c] != m.Subtree[i] {
+				t.Fatalf("child %d of subtree node %d not in same subtree", c, i)
+			}
+		}
+	}
+	// Upper nodes: no descendants of a subtree root outside its subtree;
+	// conversely every upper node's subtree id is -1.
+	for _, u := range m.UpperNodes(tree) {
+		if m.Subtree[u] != -1 {
+			t.Fatalf("upper node %d has subtree %d", u, m.Subtree[u])
+		}
+	}
+}
+
+func TestType3IsRootOnly(t *testing.T) {
+	tree, _ := Analyze(sparse.Grid3D(9, 9, 9), DefaultOptions(order.ND))
+	m := Map(tree, MapOptions{P: 8, SubtreeSplitRatio: 2, Type2MinFront: 60, Type3MinFront: 100})
+	for i := range tree.Nodes {
+		if m.Types[i] == Type3 && tree.Nodes[i].Parent != -1 {
+			t.Fatalf("type-3 node %d is not a root", i)
+		}
+	}
+}
+
+func TestMapPropertyAllAssigned(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(200)
+		p := 1 + rng.Intn(8)
+		a := sparse.RandomSPDPattern(n, 3, rng)
+		tree, _ := Analyze(a, DefaultOptions(order.AMD))
+		m := Map(tree, DefaultMapOptions(p))
+		return m.Validate(tree) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapAfterSplit(t *testing.T) {
+	tree, _ := Analyze(sparse.Grid2D(24, 24), DefaultOptions(order.ND))
+	nt, count := Split(tree, SplitOptions{MaxMasterEntries: 400, MinPiv: 4})
+	if count == 0 {
+		t.Skip("no splits at this size")
+	}
+	m := Map(nt, DefaultMapOptions(4))
+	if err := m.Validate(nt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactorMemoryBalance(t *testing.T) {
+	// The static mapping should not put all upper factors on one processor.
+	tree, _ := Analyze(sparse.Grid3D(8, 8, 8), DefaultOptions(order.ND))
+	p := 4
+	m := Map(tree, DefaultMapOptions(p))
+	mem := make([]int64, p)
+	for i := range tree.Nodes {
+		if m.Subtree[i] >= 0 {
+			continue
+		}
+		switch m.Types[i] {
+		case Type2:
+			mem[m.Proc[i]] += MasterEntries(&tree.Nodes[i], tree.Kind)
+		case Type1:
+			mem[m.Proc[i]] += FactorEntries(&tree.Nodes[i], tree.Kind)
+		}
+	}
+	nonzero := 0
+	for _, v := range mem {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 2 {
+		t.Errorf("upper factors all on %d processor(s): %v", nonzero, mem)
+	}
+}

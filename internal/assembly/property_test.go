@@ -1,0 +1,236 @@
+package assembly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+// randomMatrix builds a small random symmetric-pattern matrix from fuzz
+// bytes (connected enough to give interesting trees).
+func randomMatrix(nRaw uint8, edges []uint16) *sparse.CSC {
+	n := 6 + int(nRaw)%40
+	b := sparse.NewBuilder(n, sparse.Symmetric)
+	for j := 0; j < n; j++ {
+		b.Add(j, j, float64(n))
+		if j+1 < n {
+			b.Add(j+1, j, -1) // path backbone keeps it connected
+		}
+	}
+	for _, e := range edges {
+		i, j := int(e)%n, int(e>>6)%n
+		if i > j {
+			b.Add(i, j, -1)
+		}
+	}
+	return b.Build()
+}
+
+// analyzeRandom runs the full symbolic analysis on a fuzzed matrix.
+func analyzeRandom(nRaw uint8, edges []uint16, m order.Method) *Tree {
+	t, _ := Analyze(randomMatrix(nRaw, edges), Options{Ordering: m})
+	return t
+}
+
+// TestPropertyTreeValidates: the assembly tree of any fuzzed matrix under
+// any ordering passes structural validation, and its pivots cover every
+// column exactly once.
+func TestPropertyTreeValidates(t *testing.T) {
+	prop := func(nRaw uint8, edges []uint16, mRaw uint8) bool {
+		m := order.Methods[int(mRaw)%len(order.Methods)]
+		tr := analyzeRandom(nRaw, edges, m)
+		if err := tr.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		covered := make([]bool, tr.N)
+		for i := range tr.Nodes {
+			for c := tr.Nodes[i].Begin; c < tr.Nodes[i].End; c++ {
+				if covered[c] {
+					return false
+				}
+				covered[c] = true
+			}
+		}
+		for _, v := range covered {
+			if !v {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySplitConservation: splitting at any threshold preserves the
+// column coverage, total factor entries, and total elimination flops
+// never decrease by more than rounding (chains redo no work; flops can
+// only grow slightly through the extra CB traffic being modeled as
+// assembly, not elimination).
+func TestPropertySplitConservation(t *testing.T) {
+	prop := func(nRaw uint8, edges []uint16, thrRaw uint16) bool {
+		tr := analyzeRandom(nRaw, edges, order.AMD)
+		thr := int64(thrRaw%2000) + 1
+		st, _ := Split(tr, SplitOptions{MaxMasterEntries: thr, MinPiv: 2})
+		if err := st.Validate(); err != nil {
+			t.Logf("split validate: %v", err)
+			return false
+		}
+		if TotalFactorEntries(st) != TotalFactorEntries(tr) {
+			t.Logf("factor entries changed: %d -> %d",
+				TotalFactorEntries(tr), TotalFactorEntries(st))
+			return false
+		}
+		// Split masters must respect the threshold (unless a single link
+		// already has MinPiv pivots and cannot shrink further).
+		for i := range st.Nodes {
+			nd := &st.Nodes[i]
+			if nd.Parent < 0 {
+				continue // roots are never split
+			}
+			if MasterEntries(nd, st.Kind) > thr && nd.NPiv() > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(42))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLiuPeakMatchesSimulation: the analytic sequential peaks of
+// SequentialPeaks agree with a direct stack simulation of the postorder.
+func TestPropertyLiuPeakMatchesSimulation(t *testing.T) {
+	prop := func(nRaw uint8, edges []uint16, mRaw uint8) bool {
+		m := order.Methods[int(mRaw)%len(order.Methods)]
+		tr := analyzeRandom(nRaw, edges, m)
+		SortChildrenLiu(tr)
+		peaks := SequentialPeaks(tr)
+		// Direct simulation over the whole forest.
+		var stack, peak int64
+		var walk func(i int)
+		walk = func(i int) {
+			nd := &tr.Nodes[i]
+			for _, c := range nd.Children {
+				walk(c)
+			}
+			// Allocate front (children CBs still stacked).
+			mem := stack + FrontEntries(nd, tr.Kind)
+			if mem > peak {
+				peak = mem
+			}
+			// Pop children CBs, push own CB.
+			for _, c := range nd.Children {
+				stack -= CBEntries(&tr.Nodes[c], tr.Kind)
+			}
+			stack += CBEntries(nd, tr.Kind)
+		}
+		var globalPeak int64
+		for _, r := range tr.Roots {
+			stack, peak = 0, 0
+			walk(r)
+			if peaks[r] != peak {
+				t.Logf("root %d: analytic %d, simulated %d", r, peaks[r], peak)
+				return false
+			}
+			if peak > globalPeak {
+				globalPeak = peak
+			}
+		}
+		return TreePeak(peaks, tr) == globalPeak
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(43))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMappingInvariants: for fuzzed matrices and processor
+// counts, the static mapping validates, subtree peaks respect the
+// memory-split threshold where splittable, and every subtree's flops are
+// the sum of its nodes'.
+func TestPropertyMappingInvariants(t *testing.T) {
+	prop := func(nRaw uint8, edges []uint16, pRaw uint8) bool {
+		tr := analyzeRandom(nRaw, edges, order.ND)
+		SortChildrenLiu(tr)
+		p := 1 + int(pRaw)%16
+		mp := Map(tr, DefaultMapOptions(p))
+		if err := mp.Validate(tr); err != nil {
+			t.Logf("map validate: %v", err)
+			return false
+		}
+		// Every node is in at most one subtree, and subtree members form a
+		// connected region ending at the subtree root.
+		for si, root := range mp.SubRoot {
+			if mp.Subtree[root] != si {
+				return false
+			}
+			// Climb from every member to the root without leaving.
+			for i := range tr.Nodes {
+				if mp.Subtree[i] != si || i == root {
+					continue
+				}
+				v := i
+				for v != root {
+					v = tr.Nodes[v].Parent
+					if v < 0 || mp.Subtree[v] != si {
+						return false
+					}
+				}
+			}
+		}
+		// Flops bookkeeping.
+		for si, root := range mp.SubRoot {
+			var sum int64
+			for i := range tr.Nodes {
+				if mp.Subtree[i] == si {
+					sum += EliminationFlops(&tr.Nodes[i], tr.Kind)
+				}
+			}
+			if sum != mp.SubFlops[si] {
+				return false
+			}
+			_ = root
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(44))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubtreePeakSplitBounds: with the memory threshold active, no
+// multi-node subtree keeps a sequential peak above the threshold — any
+// such candidate must have been replaced by its children (single leaves
+// may still exceed it; they cannot be split).
+func TestSubtreePeakSplitBounds(t *testing.T) {
+	a := sparse.Grid3D(6, 6, 6)
+	tr, _ := Analyze(a, Options{Ordering: order.AMD})
+	SortChildrenLiu(tr)
+	peaks := SequentialPeaks(tr)
+	var maxPeak int64
+	for _, r := range tr.Roots {
+		if peaks[r] > maxPeak {
+			maxPeak = peaks[r]
+		}
+	}
+	opt := DefaultMapOptions(8)
+	opt.SubtreePeakFrac = 0.05
+	mp := Map(tr, opt)
+	threshold := int64(0.05 * float64(maxPeak))
+	for si, root := range mp.SubRoot {
+		if mp.SubPeak[si] > threshold && len(tr.Nodes[root].Children) > 0 {
+			t.Errorf("subtree %d (root %d) peak %d > threshold %d but splittable",
+				si, root, mp.SubPeak[si], threshold)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package assembly
+
+import "repro/internal/sparse"
+
+// Static tree modification (paper Section 6): nodes whose type-2 master
+// part is too large are split into a chain of smaller nodes, "thus avoiding
+// nodes with a large master part". The paper uses a threshold of 2 million
+// entries on the master part.
+
+// SplitOptions controls the chain splitting.
+type SplitOptions struct {
+	// MaxMasterEntries is the maximum allowed size (entries) of a node's
+	// master part; larger nodes are split. <=0 disables splitting.
+	MaxMasterEntries int64
+	// MinPiv prevents splitting into slivers: each chain link keeps at
+	// least this many pivots.
+	MinPiv int
+}
+
+// DefaultSplit mirrors the paper's threshold, rescaled: the paper's 2M
+// entries apply to ~0.1-0.7M-order matrices; callers should scale it to
+// their problem (see internal/workload).
+func DefaultSplit(maxMaster int64) SplitOptions {
+	return SplitOptions{MaxMasterEntries: maxMaster, MinPiv: 16}
+}
+
+// Split returns a new tree where every node whose master part exceeds
+// opt.MaxMasterEntries is replaced by a chain: the bottom link keeps the
+// first pivots and the full front; each upper link takes over the remaining
+// pivots with a correspondingly smaller front. Child lists, parents and
+// roots are rebuilt. Returns the new tree and the number of nodes split.
+func Split(t *Tree, opt SplitOptions) (*Tree, int) {
+	if opt.MaxMasterEntries <= 0 {
+		return t, 0
+	}
+	if opt.MinPiv < 1 {
+		opt.MinPiv = 1
+	}
+	nt := &Tree{N: t.N, Kind: t.Kind, Perm: t.Perm}
+	// Map old node -> new id of its *top* link (what its parent sees as
+	// child) and of its *bottom* link (what its children see as parent).
+	top := make([]int, len(t.Nodes))
+	splitCount := 0
+
+	newID := func(nd Node) int {
+		nd.ID = len(nt.Nodes)
+		nt.Nodes = append(nt.Nodes, nd)
+		return nd.ID
+	}
+
+	for _, i := range t.Postorder() {
+		old := &t.Nodes[i]
+		pieces := [][2]int{{old.Begin, old.End}}
+		if old.Parent >= 0 {
+			// Roots are never split: the root is the type-3 (2D) node in
+			// MUMPS, and splitting a CB-free root would manufacture huge
+			// intermediate contribution blocks out of nothing.
+			pieces = splitRanges(old, t.Kind, opt)
+		}
+		// Bottom link: original pivot prefix, full original front.
+		var prevID int
+		for k, pr := range pieces {
+			nd := Node{
+				Parent: -1,
+				Begin:  pr[0],
+				End:    pr[1],
+			}
+			// Rows of piece k: the pivots of all upper pieces + original Rows.
+			upperPivots := old.End - pr[1]
+			rows := make([]int, 0, upperPivots+len(old.Rows))
+			for c := pr[1]; c < old.End; c++ {
+				rows = append(rows, c)
+			}
+			rows = append(rows, old.Rows...)
+			nd.Rows = rows
+			id := newID(nd)
+			if k == 0 {
+				// Bottom link inherits the original children.
+				for _, c := range old.Children {
+					cid := top[c]
+					nt.Nodes[cid].Parent = id
+					nt.Nodes[id].Children = append(nt.Nodes[id].Children, cid)
+				}
+			} else {
+				nt.Nodes[prevID].Parent = id
+				nt.Nodes[id].Children = append(nt.Nodes[id].Children, prevID)
+			}
+			prevID = id
+		}
+		if len(pieces) > 1 {
+			splitCount++
+		}
+		top[i] = prevID
+	}
+	for i := range nt.Nodes {
+		if nt.Nodes[i].Parent < 0 {
+			nt.Roots = append(nt.Roots, i)
+		}
+	}
+	return nt, splitCount
+}
+
+// splitRanges computes the pivot ranges of the chain pieces for one node,
+// bottom first. A single-element result means no split. Each piece's master
+// part (its pivots times its own front order) is kept at or below the
+// threshold when MinPiv allows.
+func splitRanges(nd *Node, kind sparse.Type, opt SplitOptions) [][2]int {
+	p := nd.NPiv()
+	front := nd.NFront()
+	if MasterEntries(nd, kind) <= opt.MaxMasterEntries || p <= opt.MinPiv {
+		return [][2]int{{nd.Begin, nd.End}}
+	}
+	var pieces [][2]int
+	begin := nd.Begin
+	remaining := p
+	for remaining > 0 {
+		np := maxPiecePivots(front, opt.MaxMasterEntries, kind)
+		if np < opt.MinPiv {
+			np = opt.MinPiv
+		}
+		if np > remaining || remaining-np < opt.MinPiv {
+			np = remaining
+		}
+		pieces = append(pieces, [2]int{begin, begin + np})
+		begin += np
+		remaining -= np
+		front -= np
+	}
+	return pieces
+}
+
+// maxPiecePivots returns the largest pivot count np whose master part on a
+// front of the given order stays within maxEntries.
+func maxPiecePivots(front int, maxEntries int64, kind sparse.Type) int {
+	if front <= 0 {
+		return 1
+	}
+	if kind == sparse.Unsymmetric {
+		np := int(maxEntries / int64(front))
+		if np < 1 {
+			np = 1
+		}
+		return np
+	}
+	// Symmetric master: np*front - np(np-1)/2, increasing in np.
+	lo, hi := 1, front
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		m := int64(mid)*int64(front) - int64(mid)*int64(mid-1)/2
+		if m <= maxEntries {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

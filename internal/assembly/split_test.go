@@ -1,0 +1,146 @@
+package assembly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+func TestSplitDisabled(t *testing.T) {
+	tree := analyzeGrid(t, order.ND)
+	nt, n := Split(tree, SplitOptions{MaxMasterEntries: 0})
+	if n != 0 || nt != tree {
+		t.Error("disabled split should return the same tree")
+	}
+}
+
+func TestSplitReducesMasterSize(t *testing.T) {
+	tree, _ := Analyze(sparse.Grid2D(20, 20), DefaultOptions(order.ND))
+	// Find the largest master before split.
+	var maxBefore int64
+	for i := range tree.Nodes {
+		if m := MasterEntries(&tree.Nodes[i], tree.Kind); m > maxBefore {
+			maxBefore = m
+		}
+	}
+	threshold := maxBefore / 3
+	if threshold < 8 {
+		t.Skip("tree too small to exercise splitting")
+	}
+	nt, count := Split(tree, SplitOptions{MaxMasterEntries: threshold, MinPiv: 2})
+	if count == 0 {
+		t.Fatal("no nodes split")
+	}
+	if err := nt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range nt.Nodes {
+		nd := &nt.Nodes[i]
+		if nd.NPiv() <= 2 || nd.Parent < 0 {
+			continue // MinPiv floor; roots are never split
+		}
+		if m := MasterEntries(nd, nt.Kind); m > threshold {
+			// Allowed only when even MinPiv pivots exceed the threshold.
+			minM := MasterEntries(&Node{Begin: nd.Begin, End: nd.Begin + 2, Rows: nd.Rows}, nt.Kind)
+			if minM <= threshold {
+				t.Errorf("node %d master %d exceeds threshold %d", i, m, threshold)
+			}
+		}
+	}
+}
+
+func TestSplitPreservesFactorEntriesAndColumns(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(120)
+		a := sparse.RandomSPDPattern(n, 3, rng)
+		tree, _ := Analyze(a, DefaultOptions(order.AMD))
+		nt, _ := Split(tree, SplitOptions{MaxMasterEntries: 50, MinPiv: 2})
+		if err := nt.Validate(); err != nil {
+			return false
+		}
+		// Chain splitting preserves total factor entries exactly for the
+		// symmetric cost model (the chain pieces tile the same triangle).
+		return TotalFactorEntries(nt) == TotalFactorEntries(tree)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitChainShape(t *testing.T) {
+	// A single node with a large pivot block must become a chain.
+	tree := &Tree{
+		N:    100,
+		Kind: sparse.Unsymmetric,
+		Nodes: []Node{
+			{
+				ID: 0, Parent: 1, Begin: 0, End: 90,
+				Rows: []int{90, 91, 92, 93, 94, 95, 96, 97, 98, 99},
+			},
+			{ID: 1, Parent: -1, Begin: 90, End: 100, Children: []int{0}},
+		},
+		Roots: []int{1},
+	}
+	nt, count := Split(tree, SplitOptions{MaxMasterEntries: 1000, MinPiv: 4})
+	if count != 1 {
+		t.Fatalf("split count = %d", count)
+	}
+	if err := nt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if nt.Len() < 3 {
+		t.Fatalf("chain too short: %d links", nt.Len())
+	}
+	// Chain: exactly one root, each non-top link has the next as parent,
+	// pivot ranges tile [0,90).
+	if len(nt.Roots) != 1 {
+		t.Fatalf("roots = %v", nt.Roots)
+	}
+	covered := 0
+	for i := range nt.Nodes {
+		covered += nt.Nodes[i].NPiv()
+		if len(nt.Nodes[i].Children) > 1 {
+			t.Errorf("chain link %d has %d children", i, len(nt.Nodes[i].Children))
+		}
+	}
+	if covered != 100 {
+		t.Errorf("pivots covered = %d, want 100", covered)
+	}
+	// The top chain link (child of the untouched root) keeps the original
+	// CB rows.
+	root := &nt.Nodes[nt.Roots[0]]
+	if root.NPiv() != 10 || len(root.Children) != 1 {
+		t.Fatalf("root should be the untouched 10-pivot node, got npiv=%d", root.NPiv())
+	}
+	topLink := &nt.Nodes[root.Children[0]]
+	if topLink.NCB() != 10 {
+		t.Errorf("top link CB = %d, want 10 (original rows)", topLink.NCB())
+	}
+}
+
+func TestSplitKeepsChildren(t *testing.T) {
+	tree, _ := Analyze(sparse.Grid3D(6, 6, 6), DefaultOptions(order.ND))
+	nChildrenBefore := 0
+	for i := range tree.Nodes {
+		if len(tree.Nodes[i].Children) == 0 {
+			nChildrenBefore++ // count leaves
+		}
+	}
+	nt, _ := Split(tree, SplitOptions{MaxMasterEntries: 200, MinPiv: 4})
+	if err := nt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nLeavesAfter := 0
+	for i := range nt.Nodes {
+		if len(nt.Nodes[i].Children) == 0 {
+			nLeavesAfter++
+		}
+	}
+	if nLeavesAfter != nChildrenBefore {
+		t.Errorf("leaf count changed by splitting: %d -> %d", nChildrenBefore, nLeavesAfter)
+	}
+}

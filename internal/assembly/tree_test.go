@@ -1,0 +1,199 @@
+package assembly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+func analyzeGrid(t *testing.T, m order.Method) *Tree {
+	t.Helper()
+	tree, _ := Analyze(sparse.Grid2D(12, 12), DefaultOptions(m))
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestAnalyzeAllOrderings(t *testing.T) {
+	for _, m := range order.Methods {
+		tree := analyzeGrid(t, m)
+		if tree.Len() == 0 {
+			t.Fatalf("%v: empty tree", m)
+		}
+		if tree.N != 144 {
+			t.Fatalf("%v: N = %d", m, tree.N)
+		}
+	}
+}
+
+func TestAnalyzeUnsymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := sparse.CircuitUnsym(300, 400, 3, rng)
+	tree, pa := Analyze(a, DefaultOptions(order.AMD))
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Kind != sparse.Unsymmetric {
+		t.Error("tree lost matrix kind")
+	}
+	if pa.N != a.N {
+		t.Error("permuted matrix wrong size")
+	}
+	if !order.IsPermutation(tree.Perm, a.N) {
+		t.Error("stored perm invalid")
+	}
+}
+
+func TestFrontStructureNesting(t *testing.T) {
+	// Property: a child's CB rows must all appear in the parent's front
+	// (pivots ∪ rows) — that is what makes extend-add well defined.
+	tree := analyzeGrid(t, order.AMD)
+	for i := range tree.Nodes {
+		nd := &tree.Nodes[i]
+		if nd.Parent < 0 {
+			if len(nd.Rows) != 0 {
+				t.Fatalf("root %d has nonempty CB", i)
+			}
+			continue
+		}
+		par := &tree.Nodes[nd.Parent]
+		inParent := map[int]bool{}
+		for j := par.Begin; j < par.End; j++ {
+			inParent[j] = true
+		}
+		for _, r := range par.Rows {
+			inParent[r] = true
+		}
+		for _, r := range nd.Rows {
+			if !inParent[r] {
+				t.Fatalf("child %d CB row %d missing from parent %d front", i, r, nd.Parent)
+			}
+		}
+	}
+}
+
+func TestCostModelBasics(t *testing.T) {
+	nd := &Node{Begin: 0, End: 2, Rows: []int{2, 3, 4}} // npiv=2, ncb=3, nfront=5
+	if nd.NPiv() != 2 || nd.NCB() != 3 || nd.NFront() != 5 {
+		t.Fatalf("sizes wrong: %d %d %d", nd.NPiv(), nd.NCB(), nd.NFront())
+	}
+	if got := FactorEntries(nd, sparse.Unsymmetric); got != 25-9 {
+		t.Errorf("unsym factor entries = %d, want 16", got)
+	}
+	if got := FactorEntries(nd, sparse.Symmetric); got != 5+4 {
+		t.Errorf("sym factor entries = %d, want 9", got)
+	}
+	if got := CBEntries(nd, sparse.Unsymmetric); got != 9 {
+		t.Errorf("unsym CB = %d, want 9", got)
+	}
+	if got := CBEntries(nd, sparse.Symmetric); got != 6 {
+		t.Errorf("sym CB = %d, want 6", got)
+	}
+	if got := FrontEntries(nd, sparse.Unsymmetric); got != 25 {
+		t.Errorf("front = %d, want 25", got)
+	}
+	if got := MasterEntries(nd, sparse.Unsymmetric); got != 10 {
+		t.Errorf("master = %d, want 10", got)
+	}
+	// Flops positive and monotone in npiv.
+	nd2 := &Node{Begin: 0, End: 4, Rows: []int{4}}
+	if EliminationFlops(nd, sparse.Unsymmetric) <= 0 {
+		t.Error("flops not positive")
+	}
+	if EliminationFlops(nd2, sparse.Unsymmetric) <= EliminationFlops(nd, sparse.Unsymmetric) {
+		t.Error("flops not monotone in pivot count for same front order")
+	}
+	if EliminationFlops(nd, sparse.Symmetric) >= EliminationFlops(nd, sparse.Unsymmetric) {
+		t.Error("symmetric flops should be cheaper")
+	}
+}
+
+func TestTotalFactorEntriesMatchesColCounts(t *testing.T) {
+	// Sum of symmetric factor entries over fronts == sum of column counts
+	// over all columns (each column counted once with its full height).
+	a := sparse.Grid2D(9, 9)
+	tree, pa := Analyze(a, Options{Ordering: order.AMD}) // zero amalgamation
+	_ = pa
+	var fromTree int64
+	for i := range tree.Nodes {
+		nd := &tree.Nodes[i]
+		// Column j of the node (0-based k within node) has height
+		// npiv-k + ncb.
+		for k := 0; k < nd.NPiv(); k++ {
+			fromTree += int64(nd.NPiv() - k + nd.NCB())
+		}
+	}
+	if got := TotalFactorEntries(tree); tree.Kind == sparse.Symmetric && got != fromTree {
+		t.Errorf("TotalFactorEntries = %d, column sum = %d", got, fromTree)
+	}
+}
+
+func TestSequentialPeaksAndLiu(t *testing.T) {
+	tree := analyzeGrid(t, order.AMF)
+	before := TreePeak(SequentialPeaks(tree), tree)
+	after := TreePeak(SortChildrenLiu(tree), tree)
+	if after > before {
+		t.Errorf("Liu ordering increased peak: %d -> %d", before, after)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Liu sort broke tree: %v", err)
+	}
+	// Idempotent.
+	again := TreePeak(SortChildrenLiu(tree), tree)
+	if again != after {
+		t.Errorf("Liu ordering not idempotent: %d -> %d", after, again)
+	}
+}
+
+func TestLiuOrderingPropertyNeverWorse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(100)
+		a := sparse.RandomSPDPattern(n, 2, rng)
+		tree, _ := Analyze(a, DefaultOptions(order.AMD))
+		before := TreePeak(SequentialPeaks(tree), tree)
+		after := TreePeak(SortChildrenLiu(tree), tree)
+		return after <= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtreeFlopsMonotone(t *testing.T) {
+	tree := analyzeGrid(t, order.ND)
+	fl := SubtreeFlops(tree)
+	for i := range tree.Nodes {
+		if p := tree.Nodes[i].Parent; p >= 0 && fl[p] <= fl[i] {
+			t.Fatalf("subtree flops not monotone: node %d (%d) vs parent %d (%d)",
+				i, fl[i], p, fl[p])
+		}
+	}
+	var total int64
+	for _, r := range tree.Roots {
+		total += fl[r]
+	}
+	if total != TotalFlops(tree) {
+		t.Errorf("root subtree flops %d != total %d", total, TotalFlops(tree))
+	}
+}
+
+func TestValidateCatchesBadTrees(t *testing.T) {
+	tree := analyzeGrid(t, order.AMD)
+	bad := *tree
+	bad.Nodes = append([]Node(nil), tree.Nodes...)
+	bad.Nodes[0].Parent = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("self-parent accepted")
+	}
+	bad2 := *tree
+	bad2.Nodes = append([]Node(nil), tree.Nodes...)
+	bad2.Nodes[0].End = bad2.Nodes[0].Begin
+	if err := bad2.Validate(); err == nil {
+		t.Error("empty pivot range accepted")
+	}
+}

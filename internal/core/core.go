@@ -1,0 +1,221 @@
+// Package core is the public facade of the solver: it wires the analysis
+// pipeline (ordering → elimination tree → assembly tree → optional node
+// splitting → static mapping), the sequential numeric factorization, and
+// the parallel factorization simulator with the paper's scheduling
+// strategies behind a small API.
+//
+// Typical use:
+//
+//	an, err := core.Analyze(a, core.DefaultConfig(order.ND, 32))
+//	f, err := an.Factorize()          // numeric LU/Cholesky + Solve
+//	res, err := an.Simulate(parsim.MemoryBased())
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/assembly"
+	"repro/internal/etree"
+	"repro/internal/order"
+	"repro/internal/parsim"
+	"repro/internal/seqmf"
+	"repro/internal/sparse"
+)
+
+// Config drives the analysis phase.
+type Config struct {
+	// Ordering selects the fill-reducing ordering.
+	Ordering order.Method
+	// Amalg controls supernode amalgamation.
+	Amalg etree.AmalgamationOptions
+	// SplitThreshold, when positive, splits nodes whose type-2 master part
+	// exceeds this many entries into chains (the paper's static tree
+	// modification; it used 2 million entries at its problem scale).
+	SplitThreshold int64
+	// SplitMinPiv is the minimum pivots per chain link.
+	SplitMinPiv int
+	// Procs is the simulated processor count.
+	Procs int
+	// MapOptions overrides the static mapping (zero value = defaults).
+	MapOptions assembly.MapOptions
+	// Params is the simulated machine model (zero value = defaults).
+	Params parsim.Params
+}
+
+// DefaultConfig returns a standard configuration.
+func DefaultConfig(m order.Method, procs int) Config {
+	return Config{
+		Ordering:    m,
+		Amalg:       etree.DefaultAmalgamation(),
+		SplitMinPiv: 16,
+		Procs:       procs,
+		Params:      parsim.DefaultParams(),
+	}
+}
+
+// Analysis is the result of the symbolic phase: everything needed to run
+// the numeric factorization or the parallel simulation.
+type Analysis struct {
+	Tree     *assembly.Tree
+	Permuted *sparse.CSC
+	Mapping  *assembly.Mapping
+	Config   Config
+	// SplitCount is the number of nodes split into chains.
+	SplitCount int
+	// SeqPeak is the sequential stack peak (entries) after Liu ordering.
+	SeqPeak int64
+}
+
+// Analyze runs the full symbolic phase on matrix a.
+func Analyze(a *sparse.CSC, cfg Config) (*Analysis, error) {
+	if a == nil || a.N == 0 {
+		return nil, fmt.Errorf("core: empty matrix")
+	}
+	if cfg.Procs < 1 {
+		cfg.Procs = 1
+	}
+	if cfg.Params.FlopRate == 0 {
+		cfg.Params = parsim.DefaultParams()
+	}
+	tree, pa := assembly.Analyze(a, assembly.Options{Ordering: cfg.Ordering, Amalg: cfg.Amalg})
+	splitCount := 0
+	if cfg.SplitThreshold > 0 {
+		tree, splitCount = assembly.Split(tree, assembly.SplitOptions{
+			MaxMasterEntries: cfg.SplitThreshold,
+			MinPiv:           cfg.SplitMinPiv,
+		})
+	}
+	peaks := assembly.SortChildrenLiu(tree)
+	mo := cfg.MapOptions
+	if mo.P == 0 {
+		mo = assembly.DefaultMapOptions(cfg.Procs)
+	}
+	mp := assembly.Map(tree, mo)
+	if err := mp.Validate(tree); err != nil {
+		return nil, fmt.Errorf("core: mapping: %w", err)
+	}
+	return &Analysis{
+		Tree:       tree,
+		Permuted:   pa,
+		Mapping:    mp,
+		Config:     cfg,
+		SplitCount: splitCount,
+		SeqPeak:    assembly.TreePeak(peaks, tree),
+	}, nil
+}
+
+// WithSplit returns a new Analysis whose tree has large type-2 masters
+// split into chains (threshold in entries), reusing the already-computed
+// ordering and symbolic structure. minPiv <= 0 uses the config default.
+func (an *Analysis) WithSplit(threshold int64, minPiv int) (*Analysis, error) {
+	if minPiv <= 0 {
+		minPiv = an.Config.SplitMinPiv
+		if minPiv <= 0 {
+			minPiv = 16
+		}
+	}
+	tree, count := assembly.Split(an.Tree, assembly.SplitOptions{
+		MaxMasterEntries: threshold,
+		MinPiv:           minPiv,
+	})
+	peaks := assembly.SortChildrenLiu(tree)
+	mo := an.Config.MapOptions
+	if mo.P == 0 {
+		mo = assembly.DefaultMapOptions(an.Config.Procs)
+	}
+	mp := assembly.Map(tree, mo)
+	if err := mp.Validate(tree); err != nil {
+		return nil, fmt.Errorf("core: mapping after split: %w", err)
+	}
+	cfg := an.Config
+	cfg.SplitThreshold = threshold
+	return &Analysis{
+		Tree:       tree,
+		Permuted:   an.Permuted,
+		Mapping:    mp,
+		Config:     cfg,
+		SplitCount: count,
+		SeqPeak:    assembly.TreePeak(peaks, tree),
+	}, nil
+}
+
+// Factorize runs the sequential numeric factorization (real LU/Cholesky).
+// The matrix must carry values.
+func (an *Analysis) Factorize() (*seqmf.Factors, error) {
+	return seqmf.Factorize(an.Permuted, an.Tree, seqmf.DefaultOptions())
+}
+
+// Simulate runs the parallel factorization simulator under the given
+// scheduling strategy.
+func (an *Analysis) Simulate(st parsim.Strategy) (*parsim.Result, error) {
+	return parsim.Run(parsim.Config{
+		Tree:     an.Tree,
+		Map:      an.Mapping,
+		Strategy: st,
+		Params:   an.Config.Params,
+	})
+}
+
+// SimulateTraced is Simulate with per-processor memory traces enabled.
+func (an *Analysis) SimulateTraced(st parsim.Strategy) (*parsim.Result, error) {
+	return parsim.Run(parsim.Config{
+		Tree:     an.Tree,
+		Map:      an.Mapping,
+		Strategy: st,
+		Params:   an.Config.Params,
+		Trace:    true,
+	})
+}
+
+// Stats summarizes the symbolic analysis.
+type Stats struct {
+	N             int
+	NNZ           int
+	Fronts        int
+	MaxFront      int
+	FactorEntries int64
+	Flops         int64
+	SeqPeak       int64
+	Subtrees      int
+	Type2Nodes    int
+	SplitCount    int
+}
+
+// Stats returns summary statistics of the analysis.
+func (an *Analysis) Stats() Stats {
+	s := Stats{
+		N:             an.Tree.N,
+		NNZ:           an.Permuted.NNZ(),
+		Fronts:        an.Tree.Len(),
+		FactorEntries: assembly.TotalFactorEntries(an.Tree),
+		Flops:         assembly.TotalFlops(an.Tree),
+		SeqPeak:       an.SeqPeak,
+		Subtrees:      len(an.Mapping.SubRoot),
+		SplitCount:    an.SplitCount,
+	}
+	for i := range an.Tree.Nodes {
+		if f := an.Tree.Nodes[i].NFront(); f > s.MaxFront {
+			s.MaxFront = f
+		}
+		if an.Mapping.Types[i] == assembly.Type2 {
+			s.Type2Nodes++
+		}
+	}
+	return s
+}
+
+// LargestMaster returns the largest master part among non-root nodes
+// (entries) — the quantity the paper's split threshold constrains (roots
+// are the type-3 node and are never split).
+func (an *Analysis) LargestMaster() int64 {
+	var m int64
+	for i := range an.Tree.Nodes {
+		if an.Tree.Nodes[i].Parent < 0 {
+			continue
+		}
+		if me := assembly.MasterEntries(&an.Tree.Nodes[i], an.Tree.Kind); me > m {
+			m = me
+		}
+	}
+	return m
+}

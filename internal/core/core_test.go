@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/assembly"
+	"repro/internal/order"
+	"repro/internal/parsim"
+	"repro/internal/sparse"
+)
+
+func TestAnalyzeFactorizeSimulate(t *testing.T) {
+	a := sparse.Grid3D(8, 8, 8)
+	an, err := Analyze(a, DefaultConfig(order.ND, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := an.Stats()
+	if st.N != a.N || st.Fronts == 0 || st.Flops <= 0 || st.SeqPeak <= 0 {
+		t.Fatalf("bad stats %+v", st)
+	}
+	f, err := an.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats.PeakStack != an.SeqPeak {
+		t.Errorf("numeric peak %d != analysis SeqPeak %d", f.Stats.PeakStack, an.SeqPeak)
+	}
+	for _, s := range []parsim.Strategy{parsim.Workload(), parsim.MemoryBased()} {
+		res, err := an.Simulate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NodesDone != an.Tree.Len() {
+			t.Fatal("incomplete simulation")
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, DefaultConfig(order.AMD, 2)); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := Analyze(&sparse.CSC{ColPtr: []int{0}}, DefaultConfig(order.AMD, 2)); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestAnalyzeDefaultsProcs(t *testing.T) {
+	a := sparse.Grid2D(8, 8)
+	cfg := DefaultConfig(order.AMD, 0) // invalid proc count
+	an, err := Analyze(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Mapping.P != 1 {
+		t.Errorf("P = %d, want clamped to 1", an.Mapping.P)
+	}
+}
+
+func TestWithSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := sparse.Grid3DUnsym(8, 8, 8, rng)
+	an, err := Analyze(a, DefaultConfig(order.ND, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := an.LargestMaster()
+	if big == 0 {
+		t.Skip("no non-root masters")
+	}
+	sp, err := an.WithSplit(big/2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.SplitCount == 0 {
+		t.Fatal("nothing split at half the largest master")
+	}
+	if sp.Tree.Len() <= an.Tree.Len() {
+		t.Error("split tree not larger")
+	}
+	if sp.LargestMaster() >= big {
+		t.Errorf("largest master not reduced: %d -> %d", big, sp.LargestMaster())
+	}
+	// Both analyses remain simulable and consistent.
+	r1, err := an.Simulate(parsim.MemoryBased())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sp.Simulate(parsim.MemoryBased())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalFactors != r2.TotalFactors {
+		t.Errorf("splitting changed factor entries: %d vs %d (unsym chains preserve them)",
+			r1.TotalFactors, r2.TotalFactors)
+	}
+}
+
+func TestSplitViaConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	a := sparse.Grid3DUnsym(7, 7, 7, rng)
+	cfg := DefaultConfig(order.ND, 4)
+	pre, err := Analyze(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SplitThreshold = pre.LargestMaster() / 2
+	an, err := Analyze(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.SplitCount == 0 {
+		t.Error("config-driven split did nothing")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	a := sparse.Grid3D(9, 9, 9)
+	an, err := Analyze(a, DefaultConfig(order.ND, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := an.Stats()
+	if st.Subtrees != len(an.Mapping.SubRoot) {
+		t.Errorf("subtrees %d vs %d", st.Subtrees, len(an.Mapping.SubRoot))
+	}
+	t2 := 0
+	for i := range an.Tree.Nodes {
+		if an.Mapping.Types[i] == assembly.Type2 {
+			t2++
+		}
+	}
+	if st.Type2Nodes != t2 {
+		t.Errorf("type2 count %d vs %d", st.Type2Nodes, t2)
+	}
+	if st.FactorEntries != assembly.TotalFactorEntries(an.Tree) {
+		t.Error("factor entries mismatch")
+	}
+}
+
+func TestSimulateTraced(t *testing.T) {
+	a := sparse.Grid2D(10, 10)
+	an, err := Analyze(a, DefaultConfig(order.AMD, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.SimulateTraced(parsim.Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 2 {
+		t.Errorf("%d traces", len(res.Traces))
+	}
+}

@@ -1,0 +1,159 @@
+// Package dense provides the dense kernels of the multifrontal method:
+// partial LU and partial Cholesky factorization of frontal matrices, the
+// corresponding triangular solves, and the extend-add assembly operation.
+//
+// Fronts are square row-major matrices. A partial factorization eliminates
+// the leading npiv pivots and leaves the Schur complement (the contribution
+// block) in the trailing (n-npiv) x (n-npiv) block.
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	R, C int
+	A    []float64
+}
+
+// New returns a zeroed r x c matrix.
+func New(r, c int) *Matrix {
+	return &Matrix{R: r, C: c, A: make([]float64, r*c)}
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.A[i*m.C+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.A[i*m.C+j] = v }
+
+// Add accumulates v into element (i,j).
+func (m *Matrix) Add(i, j int, v float64) { m.A[i*m.C+j] += v }
+
+// Row returns row i (aliased).
+func (m *Matrix) Row(i int) []float64 { return m.A[i*m.C : (i+1)*m.C] }
+
+// ErrSmallPivot is returned when a pivot falls below the stability
+// threshold. The solver uses static (no) pivoting — the multifrontal
+// scheduling experiments need deterministic structure — so callers must
+// supply numerically well-behaved systems (the generators in
+// internal/sparse produce diagonally dominant or SPD matrices).
+var ErrSmallPivot = errors.New("dense: pivot below threshold (matrix requires numerical pivoting)")
+
+// PartialLU performs an in-place right-looking partial LU factorization of
+// the leading npiv columns of the n x n front f, without pivoting. On
+// return the unit-lower trapezoid is in the strict lower part of columns
+// 0..npiv-1, U in rows 0..npiv-1, and the Schur complement in the trailing
+// block.
+func PartialLU(f *Matrix, npiv int, tol float64) error {
+	if f.R != f.C {
+		return fmt.Errorf("dense: front not square (%dx%d)", f.R, f.C)
+	}
+	if npiv < 0 || npiv > f.R {
+		return fmt.Errorf("dense: npiv %d out of range for order %d", npiv, f.R)
+	}
+	n := f.R
+	for k := 0; k < npiv; k++ {
+		pk := f.At(k, k)
+		if math.Abs(pk) <= tol {
+			return fmt.Errorf("%w: pivot %d = %g", ErrSmallPivot, k, pk)
+		}
+		inv := 1 / pk
+		rowK := f.Row(k)
+		for i := k + 1; i < n; i++ {
+			rowI := f.Row(i)
+			l := rowI[k] * inv
+			if l == 0 {
+				continue
+			}
+			rowI[k] = l
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= l * rowK[j]
+			}
+		}
+	}
+	return nil
+}
+
+// PartialCholesky performs an in-place partial Cholesky factorization
+// (lower) of the leading npiv columns of the symmetric positive definite
+// front f, leaving the Schur complement in the trailing block. Only the
+// lower triangle is referenced and updated.
+func PartialCholesky(f *Matrix, npiv int) error {
+	if f.R != f.C {
+		return fmt.Errorf("dense: front not square (%dx%d)", f.R, f.C)
+	}
+	n := f.R
+	for k := 0; k < npiv; k++ {
+		d := f.At(k, k)
+		if d <= 0 {
+			return fmt.Errorf("%w: non-positive diagonal %g at %d", ErrSmallPivot, d, k)
+		}
+		d = math.Sqrt(d)
+		f.Set(k, k, d)
+		inv := 1 / d
+		for i := k + 1; i < n; i++ {
+			f.Set(i, k, f.At(i, k)*inv)
+		}
+		for j := k + 1; j < n; j++ {
+			ljk := f.At(j, k)
+			if ljk == 0 {
+				continue
+			}
+			for i := j; i < n; i++ {
+				f.Add(i, j, -f.At(i, k)*ljk)
+			}
+		}
+	}
+	return nil
+}
+
+// ExtendAdd scatters the child contribution block cb (order len(map_))
+// into the parent front f: cb(i,j) is added at f(map_[i], map_[j]).
+func ExtendAdd(f *Matrix, cb *Matrix, map_ []int) {
+	if cb.R != len(map_) || cb.C != len(map_) {
+		panic("dense: ExtendAdd index map length mismatch")
+	}
+	for i := 0; i < cb.R; i++ {
+		fi := map_[i]
+		cbRow := cb.Row(i)
+		fRow := f.Row(fi)
+		for j := 0; j < cb.C; j++ {
+			fRow[map_[j]] += cbRow[j]
+		}
+	}
+}
+
+// ExtendAddLower scatters the lower triangle of cb into the lower triangle
+// of f (symmetric fronts). map_ must be increasing so triangles map to
+// triangles.
+func ExtendAddLower(f *Matrix, cb *Matrix, map_ []int) {
+	if cb.R != len(map_) || cb.C != len(map_) {
+		panic("dense: ExtendAddLower index map length mismatch")
+	}
+	for i := 0; i < cb.R; i++ {
+		fRow := f.Row(map_[i])
+		cbRow := cb.Row(i)
+		for j := 0; j <= i; j++ {
+			fRow[map_[j]] += cbRow[j]
+		}
+	}
+}
+
+// MatVec computes y += alpha * M * x for a dense matrix.
+func MatVec(m *Matrix, x, y []float64, alpha float64) {
+	if len(x) != m.C || len(y) != m.R {
+		panic("dense: MatVec dimension mismatch")
+	}
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] += alpha * s
+	}
+}

@@ -1,0 +1,267 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomDiagDominant(n int, rng *rand.Rand) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := rng.NormFloat64()
+				m.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+		}
+		m.Set(i, i, rowSum+1+rng.Float64())
+	}
+	return m
+}
+
+func randomSPD(n int, rng *rand.Rand) *Matrix {
+	b := New(n, n)
+	for i := range b.A {
+		b.A[i] = rng.NormFloat64()
+	}
+	// A = B*B' + n*I
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += b.At(i, k) * b.At(j, k)
+			}
+			m.Set(i, j, s)
+		}
+		m.Add(i, i, float64(n))
+	}
+	return m
+}
+
+func cloneM(m *Matrix) *Matrix {
+	c := New(m.R, m.C)
+	copy(c.A, m.A)
+	return c
+}
+
+func TestPartialLUFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 12
+	a := randomDiagDominant(n, rng)
+	f := cloneM(a)
+	if err := PartialLU(f, n, 1e-14); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct A = L*U and compare.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k < kmax; k++ {
+				s += f.At(i, k) * f.At(k, j)
+			}
+			if i <= j {
+				s += f.At(i, j) // U entry, L(i,i)=1
+			} else {
+				s += f.At(i, j) * f.At(j, j) // L(i,j)*U(j,j)
+			}
+			if math.Abs(s-a.At(i, j)) > 1e-9 {
+				t.Fatalf("LU reconstruction off at (%d,%d): %g vs %g", i, j, s, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestPartialLUSchurComplement(t *testing.T) {
+	// Partial factorization's trailing block must equal the Schur
+	// complement A22 - A21*inv(A11)*A12 (checked against full elimination).
+	rng := rand.New(rand.NewSource(2))
+	n, p := 10, 4
+	a := randomDiagDominant(n, rng)
+	f := cloneM(a)
+	if err := PartialLU(f, p, 1e-14); err != nil {
+		t.Fatal(err)
+	}
+	// Dense reference: run full Gaussian elimination p steps on a copy.
+	g := cloneM(a)
+	for k := 0; k < p; k++ {
+		for i := k + 1; i < n; i++ {
+			l := g.At(i, k) / g.At(k, k)
+			for j := k + 1; j < n; j++ {
+				g.Add(i, j, -l*g.At(k, j))
+			}
+		}
+	}
+	for i := p; i < n; i++ {
+		for j := p; j < n; j++ {
+			if math.Abs(f.At(i, j)-g.At(i, j)) > 1e-9 {
+				t.Fatalf("Schur mismatch at (%d,%d): %g vs %g", i, j, f.At(i, j), g.At(i, j))
+			}
+		}
+	}
+}
+
+func TestPartialLUSmallPivot(t *testing.T) {
+	f := New(2, 2) // zero matrix
+	if err := PartialLU(f, 2, 1e-14); err == nil {
+		t.Fatal("expected ErrSmallPivot")
+	}
+}
+
+func TestPartialLUBadArgs(t *testing.T) {
+	if err := PartialLU(&Matrix{R: 2, C: 3, A: make([]float64, 6)}, 1, 0); err == nil {
+		t.Error("non-square accepted")
+	}
+	if err := PartialLU(New(3, 3), 5, 0); err == nil {
+		t.Error("npiv out of range accepted")
+	}
+}
+
+func TestPartialCholeskyFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 10
+	a := randomSPD(n, rng)
+	f := cloneM(a)
+	if err := PartialCholesky(f, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += f.At(i, k) * f.At(j, k)
+			}
+			if math.Abs(s-a.At(i, j)) > 1e-8*(1+math.Abs(a.At(i, j))) {
+				t.Fatalf("LL' off at (%d,%d): %g vs %g", i, j, s, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestPartialCholeskySchur(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, p := 9, 3
+	a := randomSPD(n, rng)
+	f := cloneM(a)
+	if err := PartialCholesky(f, p); err != nil {
+		t.Fatal(err)
+	}
+	// Reference via full symmetric elimination.
+	g := cloneM(a)
+	for k := 0; k < p; k++ {
+		d := g.At(k, k)
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j <= i; j++ {
+				g.Add(i, j, -g.At(i, k)*g.At(j, k)/d)
+			}
+		}
+	}
+	for i := p; i < n; i++ {
+		for j := p; j <= i; j++ {
+			if math.Abs(f.At(i, j)-g.At(i, j)) > 1e-8 {
+				t.Fatalf("Schur mismatch at (%d,%d): %g vs %g", i, j, f.At(i, j), g.At(i, j))
+			}
+		}
+	}
+}
+
+func TestPartialCholeskyRejectsIndefinite(t *testing.T) {
+	f := New(2, 2)
+	f.Set(0, 0, -1)
+	if err := PartialCholesky(f, 2); err == nil {
+		t.Fatal("negative diagonal accepted")
+	}
+}
+
+func TestExtendAdd(t *testing.T) {
+	f := New(4, 4)
+	cb := New(2, 2)
+	cb.Set(0, 0, 1)
+	cb.Set(0, 1, 2)
+	cb.Set(1, 0, 3)
+	cb.Set(1, 1, 4)
+	ExtendAdd(f, cb, []int{1, 3})
+	if f.At(1, 1) != 1 || f.At(1, 3) != 2 || f.At(3, 1) != 3 || f.At(3, 3) != 4 {
+		t.Fatalf("scatter wrong: %v", f.A)
+	}
+	// Accumulation.
+	ExtendAdd(f, cb, []int{1, 3})
+	if f.At(3, 3) != 8 {
+		t.Errorf("accumulation failed: %v", f.At(3, 3))
+	}
+}
+
+func TestExtendAddLower(t *testing.T) {
+	f := New(3, 3)
+	cb := New(2, 2)
+	cb.Set(0, 0, 5)
+	cb.Set(1, 0, 6)
+	cb.Set(1, 1, 7)
+	ExtendAddLower(f, cb, []int{0, 2})
+	if f.At(0, 0) != 5 || f.At(2, 0) != 6 || f.At(2, 2) != 7 {
+		t.Fatalf("lower scatter wrong: %+v", f.A)
+	}
+	if f.At(0, 2) != 0 {
+		t.Error("upper triangle touched")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := New(2, 3)
+	copy(m.A, []float64{1, 2, 3, 4, 5, 6})
+	y := []float64{1, 1}
+	MatVec(m, []float64{1, 0, -1}, y, 2)
+	if y[0] != 1+2*(-2) || y[1] != 1+2*(-2) {
+		t.Fatalf("MatVec wrong: %v", y)
+	}
+}
+
+func TestPartialLUProperty(t *testing.T) {
+	// Property: solving LUx = b via the factored front reproduces b = Ax.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		a := randomDiagDominant(n, rng)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		MatVec(a, x, b, 1)
+		lu := cloneM(a)
+		if err := PartialLU(lu, n, 1e-14); err != nil {
+			return false
+		}
+		// Forward: y = L^-1 b
+		y := append([]float64(nil), b...)
+		for i := 0; i < n; i++ {
+			for k := 0; k < i; k++ {
+				y[i] -= lu.At(i, k) * y[k]
+			}
+		}
+		// Backward: x = U^-1 y
+		for i := n - 1; i >= 0; i-- {
+			for k := i + 1; k < n; k++ {
+				y[i] -= lu.At(i, k) * y[k]
+			}
+			y[i] /= lu.At(i, i)
+		}
+		for i := range x {
+			if math.Abs(y[i]-x[i]) > 1e-7*(1+math.Abs(x[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package des is a deterministic discrete-event simulation engine: a
+// virtual clock and an event heap with stable FIFO tie-breaking. It is the
+// substitute for the paper's 32-processor IBM SP — the scheduling decisions
+// and memory evolution of the parallel factorization are replayed in
+// virtual time, reproducibly (MUMPS itself is non-deterministic, as the
+// paper notes when comparing Tables 2 and 3).
+package des
+
+import "container/heap"
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Event is a scheduled callback.
+type event struct {
+	t   Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Engine runs events in virtual-time order. Events scheduled at the same
+// time run in scheduling order (stable).
+type Engine struct {
+	now    Time
+	seq    int64
+	events eventHeap
+	count  int64
+}
+
+// New returns an engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() int64 { return e.count }
+
+// At schedules fn at absolute time t (panics if t is in the past).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("des: scheduling event in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn dt after the current time.
+func (e *Engine) After(dt Time, fn func()) {
+	if dt < 0 {
+		dt = 0
+	}
+	e.At(e.now+dt, fn)
+}
+
+// Run executes events until the queue is empty, returning the final time.
+func (e *Engine) Run() Time {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.t
+		e.count++
+		ev.fn()
+	}
+	return e.now
+}
+
+// Step executes a single event; returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.t
+	e.count++
+	ev.fn()
+	return true
+}

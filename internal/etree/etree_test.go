@@ -1,0 +1,323 @@
+package etree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+// paperMatrix builds the 6x6 matrix of the paper's Figure 1:
+//
+//	X X . . X .        (cols 1..6, X on diagonal, F = fill)
+//	X X . . X X  ... the figure shows pattern such that the assembly tree is
+//	. . X X . X      {1,2} {3,4} -> {5,6}
+//	. . X X X X
+//	X X X X X X  -- approximating the figure's structure
+//	. X X X X X
+func paperMatrix() *sparse.CSC {
+	b := sparse.NewBuilder(6, sparse.Symmetric)
+	for i := 0; i < 6; i++ {
+		b.Add(i, i, 1)
+	}
+	b.Add(1, 0, 1) // (2,1)
+	b.Add(4, 0, 1) // (5,1)
+	b.Add(4, 1, 1) // (5,2)
+	b.Add(3, 2, 1) // (4,3)
+	b.Add(5, 2, 1) // (6,3)
+	b.Add(5, 3, 1) // (6,4)
+	b.Add(5, 4, 1) // (6,5)
+	out := b.Build()
+	out.Val = nil
+	return out
+}
+
+func TestFigure1PaperExample(t *testing.T) {
+	a := paperMatrix()
+	parent := Compute(a)
+	// Expected etree: 0->1->4->5, 2->3->5 (0-based). Nodes {0,1},{2,3}
+	// chains merging at {4,5}: matches the paper's assembly tree
+	// 1,2 / 3,4 -> 5,6.
+	want := []int{1, 4, 3, 5, 5, -1}
+	for v := range want {
+		if parent[v] != want[v] {
+			t.Fatalf("parent[%d] = %d, want %d (tree %v)", v, parent[v], want[v], parent)
+		}
+	}
+	counts := ColCounts(a, parent)
+	// Column factor counts: col0 has rows {0,1,4} -> 3; col1 {1,4,5}?
+	// col1: a(4,1) + fill from child col0 path: rows {1,4} plus none else,
+	// but col0 contributes row 4 only (already); count=... verify via dense
+	// symbolic elimination below instead.
+	dense := denseColCounts(a)
+	for j := range counts {
+		if counts[j] != dense[j] {
+			t.Fatalf("counts[%d] = %d, want %d (dense check)", j, counts[j], dense[j])
+		}
+	}
+	// Supernodes: {0},{1}? fundamental criterion: col1 joins col0 iff
+	// parent[0]==1, nchild(1)==1, count1==count0-1.
+	super, memb := Supernodes(parent, counts)
+	tree := SupernodeTree(parent, super, memb)
+	// Assembly-tree shape: last supernode (containing cols 4,5) is the root.
+	root := memb[5]
+	if tree[root] != -1 {
+		t.Errorf("root supernode has parent %d", tree[root])
+	}
+	// Columns 5,6 of the figure form one front only after amalgamation
+	// (column 5 has two children, so it is not a *fundamental* supernode
+	// with column 6).
+	// Strict options: only zero-fill merges, so the figure's three fronts
+	// survive (default relaxed settings would collapse a 6x6 into one).
+	asuper, amemb := Amalgamate(parent, counts, super, memb,
+		AmalgamationOptions{MaxExtraFill: 0, SmallThreshold: 1})
+	if amemb[4] != amemb[5] {
+		t.Errorf("columns 5,6 should share the root front after amalgamation (memb %v, super %v)", amemb, asuper)
+	}
+	if amemb[0] != amemb[1] || amemb[2] != amemb[3] {
+		t.Errorf("leaf fronts {1,2} and {3,4} should each be one node (memb %v)", amemb)
+	}
+	if amemb[1] == amemb[2] {
+		t.Errorf("the two leaf fronts must stay distinct (memb %v)", amemb)
+	}
+}
+
+// denseColCounts computes factor column counts by dense symbolic Cholesky.
+func denseColCounts(a *sparse.CSC) []int {
+	n := a.N
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+	}
+	full := sparse.ExpandSymmetric(a)
+	for j := 0; j < n; j++ {
+		for _, i := range full.Col(j) {
+			m[i][j] = true
+		}
+		m[j][j] = true
+	}
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			if !m[i][k] {
+				continue
+			}
+			for j := k + 1; j <= i; j++ {
+				if m[j][k] {
+					m[i][j] = true
+				}
+			}
+		}
+	}
+	counts := make([]int, n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			if m[i][j] {
+				counts[j]++
+			}
+		}
+	}
+	return counts
+}
+
+func TestColCountsAgainstDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		a := sparse.RandomSPDPattern(n, 2, rng)
+		// Postorder first (ColCounts itself does not require it, but match
+		// production use).
+		parent := Compute(a)
+		got := ColCounts(a, parent)
+		want := denseColCounts(a)
+		for j := range got {
+			if got[j] != want[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostorderProperties(t *testing.T) {
+	a := sparse.Grid2D(7, 7)
+	perm := order.Compute(a, order.AMD)
+	pa := a.Permute(perm)
+	parent := Compute(pa)
+	post := Postorder(parent)
+	if !order.IsPermutation(post, a.N) {
+		t.Fatal("postorder not a permutation")
+	}
+	pos := make([]int, a.N)
+	for k, v := range post {
+		pos[v] = k
+	}
+	for v, p := range parent {
+		if p >= 0 && pos[p] <= pos[v] {
+			t.Fatalf("parent %d before child %d in postorder", p, v)
+		}
+	}
+	// After relabeling by the postorder, the etree must have increasing
+	// parents and identical factor size.
+	c1 := FactorNNZ(ColCounts(pa, parent))
+	pa2 := a.Permute(ApplyPostorder(perm, post))
+	parent2 := Compute(pa2)
+	if err := Validate(parent2, true); err != nil {
+		t.Fatalf("postordered etree invalid: %v", err)
+	}
+	c2 := FactorNNZ(ColCounts(pa2, parent2))
+	if c1 != c2 {
+		t.Errorf("postordering changed factor size: %d -> %d", c1, c2)
+	}
+}
+
+func TestPostorderSubtreesContiguous(t *testing.T) {
+	// Property: in a postorder, every subtree occupies a contiguous range.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		a := sparse.RandomSPDPattern(n, 2, rng)
+		parent := Compute(a)
+		post := Postorder(parent)
+		pos := make([]int, n)
+		for k, v := range post {
+			pos[v] = k
+		}
+		// descendant count per node
+		size := make([]int, n)
+		for i := range size {
+			size[i] = 1
+		}
+		for _, v := range post {
+			if parent[v] >= 0 {
+				size[parent[v]] += size[v]
+			}
+		}
+		for v := 0; v < n; v++ {
+			// subtree of v = positions [pos[v]-size[v]+1, pos[v]]
+			lo := pos[v] - size[v] + 1
+			if lo < 0 {
+				return false
+			}
+			// check parent of any node in range is inside range except v
+			for k := lo; k <= pos[v]; k++ {
+				u := post[k]
+				if u != v {
+					p := parent[u]
+					if p < 0 || pos[p] > pos[v] || pos[p] < lo {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSupernodesPartition(t *testing.T) {
+	a := sparse.Grid2D(8, 8)
+	perm := order.Compute(a, order.AMD)
+	pa := a.Permute(perm)
+	parent := Compute(pa)
+	post := Postorder(parent)
+	pa = a.Permute(ApplyPostorder(perm, post))
+	parent = Compute(pa)
+	counts := ColCounts(pa, parent)
+	super, memb := Supernodes(parent, counts)
+	ns := len(super) - 1
+	if super[0] != 0 || super[ns] != pa.N {
+		t.Fatalf("bad boundaries %v", super)
+	}
+	for s := 0; s < ns; s++ {
+		if super[s] >= super[s+1] {
+			t.Fatalf("empty supernode %d", s)
+		}
+		for j := super[s]; j < super[s+1]; j++ {
+			if memb[j] != s {
+				t.Fatalf("memb[%d] = %d, want %d", j, memb[j], s)
+			}
+		}
+		// Columns within a supernode must chain in the etree.
+		for j := super[s]; j < super[s+1]-1; j++ {
+			if parent[j] != j+1 {
+				t.Fatalf("supernode %d broken at column %d", s, j)
+			}
+		}
+	}
+	if ns >= pa.N {
+		t.Errorf("no amalgamation at all: %d supernodes for n=%d", ns, pa.N)
+	}
+}
+
+func TestAmalgamateReducesNodes(t *testing.T) {
+	a := sparse.Grid3D(5, 5, 5)
+	perm := order.Compute(a, order.ND)
+	pa := a.Permute(perm)
+	parent := Compute(pa)
+	post := Postorder(parent)
+	pa = a.Permute(ApplyPostorder(perm, post))
+	parent = Compute(pa)
+	counts := ColCounts(pa, parent)
+	super, memb := Supernodes(parent, counts)
+	ns0 := len(super) - 1
+	nsuper, nmemb := Amalgamate(parent, counts, super, memb, DefaultAmalgamation())
+	ns1 := len(nsuper) - 1
+	if ns1 > ns0 {
+		t.Fatalf("amalgamation increased node count %d -> %d", ns0, ns1)
+	}
+	if ns1 == ns0 {
+		t.Logf("warning: amalgamation made no merges (%d nodes)", ns0)
+	}
+	// Check partition validity.
+	if nsuper[0] != 0 || nsuper[ns1] != pa.N {
+		t.Fatalf("bad boundaries")
+	}
+	for s := 0; s < ns1; s++ {
+		for j := nsuper[s]; j < nsuper[s+1]; j++ {
+			if nmemb[j] != s {
+				t.Fatalf("nmemb[%d] = %d, want %d", j, nmemb[j], s)
+			}
+		}
+	}
+	// Supernode tree still a valid forest.
+	st := SupernodeTree(parent, nsuper, nmemb)
+	for s, p := range st {
+		if p == s || p >= ns1 {
+			t.Fatalf("bad sparent[%d] = %d", s, p)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]int{1, 2, -1}, true); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+	if err := Validate([]int{1, 0}, false); err == nil {
+		t.Error("cycle accepted")
+	}
+	if err := Validate([]int{2, -1, 1, -1}, true); err == nil {
+		t.Error("non-monotone accepted in strict mode")
+	}
+	if err := Validate([]int{5}, true); err == nil {
+		t.Error("out of range accepted")
+	}
+}
+
+func TestEtreeOnUnsymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := sparse.CircuitUnsym(60, 80, 1, rng)
+	parent := Compute(a)
+	if err := Validate(parent, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(parent) != a.N {
+		t.Fatalf("len(parent) = %d", len(parent))
+	}
+}

@@ -1,0 +1,185 @@
+package etree
+
+// Supernode partitioning and relaxed amalgamation. A supernode is a run of
+// consecutive (postordered) columns sharing one frontal matrix; relaxed
+// amalgamation merges small children into parents, trading a little fill
+// for larger, more efficient fronts — it also reshapes the assembly tree,
+// which matters to the scheduling experiments.
+
+// Supernodes groups columns 0..n-1 (already postordered, with etree parent
+// and factor column counts) into fundamental supernodes: column j+1 joins
+// j's supernode iff parent[j] == j+1, j is the only child of j+1 among
+// supernode starts, and colcount[j+1] == colcount[j]-1 (identical structure
+// below the diagonal).
+//
+// Returns super: for each supernode s, super[s] is the first column, plus a
+// terminating entry n (len = #supernodes + 1), and memb: column -> its
+// supernode.
+func Supernodes(parent, counts []int) (super []int, memb []int) {
+	n := len(parent)
+	memb = make([]int, n)
+	if n == 0 {
+		return []int{0}, memb
+	}
+	nchild := make([]int, n)
+	for _, p := range parent {
+		if p >= 0 {
+			nchild[p]++
+		}
+	}
+	super = append(super, 0)
+	for j := 1; j < n; j++ {
+		if parent[j-1] == j && nchild[j] == 1 && counts[j] == counts[j-1]-1 {
+			// continue current supernode
+		} else {
+			super = append(super, j)
+		}
+	}
+	super = append(super, n)
+	for s := 0; s+1 < len(super); s++ {
+		for j := super[s]; j < super[s+1]; j++ {
+			memb[j] = s
+		}
+	}
+	return super, memb
+}
+
+// SupernodeTree returns the parent array over supernodes: the supernode of
+// the etree-parent of each supernode's last column.
+func SupernodeTree(parent, super, memb []int) []int {
+	ns := len(super) - 1
+	sparent := make([]int, ns)
+	for s := 0; s < ns; s++ {
+		last := super[s+1] - 1
+		p := parent[last]
+		if p < 0 {
+			sparent[s] = -1
+		} else {
+			sparent[s] = memb[p]
+		}
+	}
+	return sparent
+}
+
+// AmalgamationOptions controls relaxed supernode amalgamation.
+type AmalgamationOptions struct {
+	// MaxExtraFill is the maximum fraction of extra (logical) entries a
+	// merge may add to the parent front, e.g. 0.2 = 20%.
+	MaxExtraFill float64
+	// SmallThreshold: a child with at most this many pivot columns is
+	// always merged into its parent.
+	SmallThreshold int
+	// MaxFront caps the merged front order (0 = unlimited).
+	MaxFront int
+}
+
+// DefaultAmalgamation mirrors typical multifrontal settings.
+func DefaultAmalgamation() AmalgamationOptions {
+	return AmalgamationOptions{MaxExtraFill: 0.15, SmallThreshold: 4, MaxFront: 0}
+}
+
+// Amalgamate performs relaxed amalgamation on a supernode partition.
+// Inputs: super/memb from Supernodes, counts = factor column counts.
+// A child supernode is merged into its parent when the *cumulative*
+// overallocation of the merged run — allocated dense-trapezoid entries
+// versus the true factor entries of its columns — stays within
+// MaxExtraFill, or when the child is small (SmallThreshold pivots, with a
+// laxer fill bound). Children are only merged when contiguous with the
+// parent in the postorder, which keeps supernodes as column ranges.
+// Using the cumulative ratio (rather than a per-merge nesting estimate)
+// makes cascading merges self-limiting: every merge pays for all the
+// padding accumulated so far.
+//
+// Returns new super/memb arrays.
+func Amalgamate(parent, counts, super, memb []int, opt AmalgamationOptions) (nsuper, nmemb []int) {
+	n := len(parent)
+	ns := len(super) - 1
+	if ns == 0 {
+		return append([]int(nil), super...), append([]int(nil), memb...)
+	}
+	sparent := SupernodeTree(parent, super, memb)
+	prefix := make([]int64, n+1) // prefix sums of true column counts
+	for c := 0; c < n; c++ {
+		prefix[c+1] = prefix[c] + int64(counts[c])
+	}
+	rep := make([]int, ns) // union-find; rep of a run = its earliest snode
+	for i := range rep {
+		rep[i] = i
+	}
+	find := func(x int) int {
+		for rep[x] != x {
+			rep[x] = rep[rep[x]]
+			x = rep[x]
+		}
+		return x
+	}
+	width := make([]int, ns)  // pivot columns in run
+	forder := make([]int, ns) // (approximate) front order of run
+	first := make([]int, ns)  // first column of run
+	endCol := make([]int, ns) // one past last column of run
+	for s := 0; s < ns; s++ {
+		width[s] = super[s+1] - super[s]
+		forder[s] = counts[super[s]]
+		first[s] = super[s]
+		endCol[s] = super[s+1]
+	}
+	smallBound := 4 * opt.MaxExtraFill
+	if opt.MaxExtraFill > 0 && smallBound < 1 {
+		smallBound = 1
+	}
+	for s := ns - 2; s >= 0; s-- {
+		p := sparent[s]
+		if p < 0 {
+			continue
+		}
+		pr := find(p)
+		sr := find(s)
+		if sr == pr {
+			continue
+		}
+		// Contiguity: run sr must end exactly where run pr starts.
+		if endCol[sr] != first[pr] {
+			continue
+		}
+		childWidth := width[sr]
+		mergedWidth := childWidth + width[pr]
+		mergedOrder := childWidth + forder[pr]
+		if opt.MaxFront > 0 && mergedOrder > opt.MaxFront {
+			continue
+		}
+		// Allocated entries of the merged trapezoid vs true factor entries.
+		mw, mo := int64(mergedWidth), int64(mergedOrder)
+		alloc := mw*mo - mw*(mw-1)/2
+		truth := prefix[first[sr]+mergedWidth] - prefix[first[sr]]
+		if truth <= 0 {
+			continue
+		}
+		ratio := float64(alloc-truth) / float64(truth)
+		merge := ratio <= opt.MaxExtraFill ||
+			(childWidth <= opt.SmallThreshold && ratio <= smallBound)
+		if !merge {
+			continue
+		}
+		rep[pr] = sr
+		width[sr] = mergedWidth
+		forder[sr] = mergedOrder
+		endCol[sr] = endCol[pr]
+	}
+	// Rebuild partition from merged runs.
+	nsuper = []int{}
+	nmemb = make([]int, n)
+	for s := 0; s < ns; s++ {
+		if find(s) == s {
+			nsuper = append(nsuper, super[s])
+		}
+	}
+	// super entries were appended in increasing column order because rep of
+	// each run is its earliest supernode.
+	nsuper = append(nsuper, n)
+	for s := 0; s+1 < len(nsuper); s++ {
+		for j := nsuper[s]; j < nsuper[s+1]; j++ {
+			nmemb[j] = s
+		}
+	}
+	return nsuper, nmemb
+}

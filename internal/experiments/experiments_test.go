@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/order"
+	"repro/internal/parsim"
+)
+
+// The experiment tests run on the small suite with 8 processors to stay
+// fast; the full-scale tables are produced by cmd/experiments and the
+// benchmarks.
+
+func smallRunner() *Runner { return NewRunner(8, true) }
+
+func TestTable1(t *testing.T) {
+	r := smallRunner()
+	tbl, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	for _, name := range []string{"BMWCRA_1", "GUPTA3", "MSDOOR", "SHIP_003",
+		"PRE2", "TWOTONE", "ULTRASOUND3", "XENON2"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 missing %s", name)
+		}
+	}
+}
+
+func TestTable2ShapeAndCache(t *testing.T) {
+	r := smallRunner()
+	tbl, g, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells() != 8*4 {
+		t.Fatalf("Table 2 has %d cells, want 32", g.Cells())
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	// Reproducibility through the cache: a second call returns identical
+	// values.
+	_, g2, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Values {
+		for j := range g.Values[i] {
+			if g.Values[i][j] != g2.Values[i][j] {
+				t.Fatalf("cache changed cell (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTable3UnsymmetricOnly(t *testing.T) {
+	r := smallRunner()
+	_, g, err := r.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Problems) != 4 {
+		t.Fatalf("Table 3 has %d problems, want 4 unsymmetric", len(g.Problems))
+	}
+	for _, name := range g.Problems {
+		if name == "BMWCRA_1" || name == "GUPTA3" || name == "MSDOOR" || name == "SHIP_003" {
+			t.Errorf("symmetric problem %s in Table 3", name)
+		}
+	}
+}
+
+func TestTable4Layout(t *testing.T) {
+	r := smallRunner()
+	tbl, err := r.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("%d rows, want 2 strategies", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != 5 {
+			t.Fatalf("row has %d cells, want 5", len(row))
+		}
+	}
+}
+
+func TestTable5CombinedBeatsTable2OnAverage(t *testing.T) {
+	// The paper's central result: combining static splitting with the
+	// dynamic strategies gives larger gains than the dynamic strategies
+	// alone (Table 5 vs the unsymmetric rows of Table 2).
+	r := smallRunner()
+	_, g2, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g5, err := r.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean over the unsymmetric rows of Table 2.
+	var mean2 float64
+	n := 0
+	for i, name := range g2.Problems {
+		switch name {
+		case "PRE2", "TWOTONE", "ULTRASOUND3", "XENON2":
+			for _, v := range g2.Values[i] {
+				mean2 += v
+				n++
+			}
+		}
+	}
+	mean2 /= float64(n)
+	mean5 := g5.Mean()
+	t.Logf("mean gain: dynamic only %.1f%%, combined %.1f%%", mean2, mean5)
+	// On the reduced suite the static splitting rarely triggers, so the
+	// full-scale ordering (combined clearly ahead, see EXPERIMENTS.md) is
+	// only required up to a small tolerance here; what must hold is that
+	// the combined strategies keep a positive average gain.
+	if mean5 < mean2-3 {
+		t.Errorf("combined strategies (%.1f%%) far below dynamic-only (%.1f%%)", mean5, mean2)
+	}
+	if mean5 <= 0 {
+		t.Errorf("combined strategies show no average gain: %.1f%%", mean5)
+	}
+}
+
+func TestTable6TimeLossBounded(t *testing.T) {
+	r := smallRunner()
+	_, g, err := r.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Problems) != 3 {
+		t.Fatalf("Table 6 has %d problems, want 3", len(g.Problems))
+	}
+	for i, row := range g.Values {
+		for j, v := range row {
+			if v > 300 {
+				t.Errorf("%s/%v: time loss %.1f%% unreasonable", g.Problems[i], g.Orderings[j], v)
+			}
+		}
+	}
+}
+
+func TestAnalysisCacheKeys(t *testing.T) {
+	r := smallRunner()
+	p := r.Suite[0]
+	a1, err := r.Analysis(p, order.AMD, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := r.Analysis(p, order.AMD, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("analysis not cached")
+	}
+	s1, err := r.Analysis(p, order.AMD, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == a1 {
+		t.Error("split analysis must differ from base")
+	}
+}
+
+func TestSimulateCache(t *testing.T) {
+	r := smallRunner()
+	p := r.Suite[3]
+	r1, err := r.Simulate(p, order.ND, false, parsim.Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := r.Simulate(p, order.ND, false, parsim.Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("simulation not cached")
+	}
+}
+
+func TestGridHelpers(t *testing.T) {
+	g := &CellGrid{
+		Problems:  []string{"a", "b"},
+		Orderings: order.Methods,
+		Values:    [][]float64{{1, -2, 3, 0}, {5, 0, 0, 0}},
+	}
+	if g.Cells() != 8 {
+		t.Errorf("cells %d", g.Cells())
+	}
+	if g.Wins(0) != 3 {
+		t.Errorf("wins %d", g.Wins(0))
+	}
+	if m := g.Mean(); m != 7.0/8 {
+		t.Errorf("mean %v", m)
+	}
+}
+
+func TestExtensionTables(t *testing.T) {
+	r := smallRunner()
+	e1, err := r.TableE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e1.Rows) != 8 { // 4 unsymmetric problems x {memory, hybrid}
+		t.Fatalf("E1 has %d rows, want 8", len(e1.Rows))
+	}
+	e2, err := r.TableE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e2.Rows) != len(r.Suite) {
+		t.Fatalf("E2 has %d rows, want %d", len(e2.Rows), len(r.Suite))
+	}
+	// OOC saving must be nonnegative: the resident stack is a subset of
+	// the in-core total.
+	for _, row := range e2.Rows {
+		if strings.HasPrefix(row[3], "-") {
+			t.Errorf("negative OOC saving in %v", row)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func pathGraph(n int) *Graph {
+	b := sparse.NewBuilder(n, sparse.Symmetric)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 1)
+		if i+1 < n {
+			b.Add(i+1, i, 1)
+		}
+	}
+	return FromMatrix(b.Build())
+}
+
+func TestFromMatrixGrid(t *testing.T) {
+	g := FromMatrix(sparse.Grid2D(3, 3))
+	if g.N != 9 {
+		t.Fatalf("N = %d", g.N)
+	}
+	// Corner has degree 2, center degree 4.
+	if g.Degree(0) != 2 {
+		t.Errorf("corner degree = %d, want 2", g.Degree(0))
+	}
+	if g.Degree(4) != 4 {
+		t.Errorf("center degree = %d, want 4", g.Degree(4))
+	}
+	// Adjacency lists sorted and symmetric.
+	for v := 0; v < g.N; v++ {
+		nb := g.Neighbors(v)
+		if !sort.IntsAreSorted(nb) {
+			t.Fatalf("neighbors of %d not sorted: %v", v, nb)
+		}
+		for _, w := range nb {
+			found := false
+			for _, x := range g.Neighbors(w) {
+				if x == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d-%d not symmetric", v, w)
+			}
+		}
+	}
+}
+
+func TestFromMatrixUnsymmetric(t *testing.T) {
+	b := sparse.NewBuilder(3, sparse.Unsymmetric)
+	b.Add(0, 1, 1) // upper only: edge 0-1 must appear after symmetrization
+	b.Add(2, 2, 1)
+	g := FromMatrix(b.Build())
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Errorf("degrees = %d,%d,%d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+}
+
+func TestBFSLevelsPath(t *testing.T) {
+	g := pathGraph(5)
+	level, order, ecc := g.BFSLevels(0, nil, 0)
+	if ecc != 4 {
+		t.Errorf("ecc = %d, want 4", ecc)
+	}
+	for i := 0; i < 5; i++ {
+		if level[i] != i {
+			t.Errorf("level[%d] = %d", i, level[i])
+		}
+	}
+	if len(order) != 5 {
+		t.Errorf("reached %d vertices", len(order))
+	}
+}
+
+func TestBFSMask(t *testing.T) {
+	g := pathGraph(5)
+	mask := []int{1, 1, 0, 1, 1} // vertex 2 blocked
+	_, order, _ := g.BFSLevels(0, mask, 1)
+	if len(order) != 2 {
+		t.Errorf("reached %d vertices, want 2 (blocked by mask)", len(order))
+	}
+}
+
+func TestPseudoPeripheralPath(t *testing.T) {
+	g := pathGraph(9)
+	v := g.PseudoPeripheral(4, nil, 0)
+	if v != 0 && v != 8 {
+		t.Errorf("pseudo-peripheral of path from middle = %d, want an end", v)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := sparse.NewBuilder(6, sparse.Symmetric)
+	b.Add(1, 0, 1)
+	b.Add(3, 2, 1)
+	b.Add(4, 3, 1)
+	b.Add(5, 5, 1)
+	g := FromMatrix(b.Build())
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("%d components, want 3", len(comps))
+	}
+	sizes := []int{len(comps[0]), len(comps[1]), len(comps[2])}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 3 {
+		t.Errorf("component sizes %v", sizes)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := FromMatrix(sparse.Grid2D(3, 3))
+	sg, m := g.Subgraph([]int{0, 1, 2, 3})
+	if sg.N != 4 || len(m) != 4 {
+		t.Fatalf("subgraph size %d", sg.N)
+	}
+	// vertices 0,1,2 form a path (column of the grid); 3 attaches to 0.
+	totalEdges := 0
+	for v := 0; v < sg.N; v++ {
+		totalEdges += sg.Degree(v)
+	}
+	if totalEdges%2 != 0 {
+		t.Error("odd total degree")
+	}
+}
+
+func TestBisectGrid(t *testing.T) {
+	g := FromMatrix(sparse.Grid2D(8, 8))
+	verts := make([]int, g.N)
+	for i := range verts {
+		verts[i] = i
+	}
+	b := Bisect(g, verts)
+	if len(b.PartA)+len(b.PartB)+len(b.Sep) != g.N {
+		t.Fatalf("partition loses vertices: %d+%d+%d != %d",
+			len(b.PartA), len(b.PartB), len(b.Sep), g.N)
+	}
+	if !CheckBisection(g, b) {
+		t.Fatal("separator does not separate")
+	}
+	if len(b.Sep) > 16 {
+		t.Errorf("separator too large for 8x8 grid: %d", len(b.Sep))
+	}
+	// Balance within a factor ~3.
+	if len(b.PartA)*3 < len(b.PartB) || len(b.PartB)*3 < len(b.PartA) {
+		t.Errorf("unbalanced: %d vs %d", len(b.PartA), len(b.PartB))
+	}
+}
+
+func TestBisectDisconnected(t *testing.T) {
+	b := sparse.NewBuilder(6, sparse.Symmetric)
+	b.Add(1, 0, 1)
+	b.Add(2, 1, 1)
+	b.Add(4, 3, 1)
+	b.Add(5, 4, 1)
+	g := FromMatrix(b.Build())
+	verts := []int{0, 1, 2, 3, 4, 5}
+	bi := Bisect(g, verts)
+	if len(bi.PartA)+len(bi.PartB)+len(bi.Sep) != 6 {
+		t.Fatal("lost vertices")
+	}
+	if !CheckBisection(g, bi) {
+		t.Fatal("invalid bisection")
+	}
+}
+
+func TestBisectPropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(80)
+		a := sparse.RandomSPDPattern(n, 3, rng)
+		g := FromMatrix(a)
+		verts := make([]int, n)
+		for i := range verts {
+			verts[i] = i
+		}
+		b := Bisect(g, verts)
+		if len(b.PartA)+len(b.PartB)+len(b.Sep) != n {
+			return false
+		}
+		return CheckBisection(g, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBisectTiny(t *testing.T) {
+	g := pathGraph(1)
+	b := Bisect(g, []int{0})
+	if len(b.PartA) != 1 || len(b.PartB) != 0 || len(b.Sep) != 0 {
+		t.Errorf("tiny bisection: %+v", b)
+	}
+	b2 := Bisect(g, nil)
+	if len(b2.PartA)+len(b2.PartB)+len(b2.Sep) != 0 {
+		t.Error("empty bisection should be empty")
+	}
+}

@@ -1,0 +1,80 @@
+package memory
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestPeaks(t *testing.T) {
+	tr := NewTracker(nil, 2)
+	tr.AllocFront(0, 100)
+	tr.PushCB(0, 50)
+	if tr.Procs[0].ActivePeak != 150 {
+		t.Errorf("active peak %d", tr.Procs[0].ActivePeak)
+	}
+	if tr.Procs[0].StackPeak != 50 {
+		t.Errorf("stack peak %d", tr.Procs[0].StackPeak)
+	}
+	tr.FreeFront(0, 100)
+	tr.PopCB(0, 50)
+	if tr.Procs[0].Active() != 0 {
+		t.Errorf("not freed: %d", tr.Procs[0].Active())
+	}
+	if tr.Procs[0].ActivePeak != 150 {
+		t.Error("peak lost after free")
+	}
+	if tr.MaxActivePeak() != 150 {
+		t.Errorf("MaxActivePeak %d", tr.MaxActivePeak())
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	tr := NewTracker(nil, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on negative stack")
+		}
+	}()
+	tr.PopCB(0, 10)
+}
+
+func TestFactorsAndAverages(t *testing.T) {
+	tr := NewTracker(nil, 2)
+	tr.AddFactors(0, 100)
+	tr.AddFactors(1, 200)
+	if tr.TotalFactors() != 300 {
+		t.Errorf("factors %d", tr.TotalFactors())
+	}
+	tr.PushCB(0, 10)
+	tr.PushCB(1, 30)
+	if avg := tr.AvgActivePeak(); avg != 20 {
+		t.Errorf("avg %v", avg)
+	}
+	if tr.MaxStackPeak() != 30 {
+		t.Errorf("max stack %d", tr.MaxStackPeak())
+	}
+}
+
+func TestTrace(t *testing.T) {
+	eng := des.New()
+	tr := NewTracker(eng, 1)
+	tr.Procs[0].EnableTrace()
+	eng.At(5, func() { tr.PushCB(0, 10) })
+	eng.At(9, func() { tr.AllocFront(0, 20) })
+	eng.At(12, func() { tr.PopCB(0, 10) })
+	eng.Run()
+	tp := tr.Procs[0].Trace()
+	if len(tp) != 3 {
+		t.Fatalf("%d trace points", len(tp))
+	}
+	if tp[0].T != 5 || tp[0].Stack != 10 || tp[0].Active != 10 {
+		t.Errorf("point 0: %+v", tp[0])
+	}
+	if tp[1].T != 9 || tp[1].Active != 30 {
+		t.Errorf("point 1: %+v", tp[1])
+	}
+	if tp[2].T != 12 || tp[2].Stack != 0 || tp[2].Active != 20 {
+		t.Errorf("point 2: %+v", tp[2])
+	}
+}

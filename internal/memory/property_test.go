@@ -1,0 +1,150 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+)
+
+// TestPropertyAccountingIdentities: under arbitrary interleavings of
+// stack pushes/pops and front allocs/frees (kept legal), the tracker's
+// Active equals the running sum, peaks are the running maxima, and the
+// peak composition decomposes the peak exactly.
+func TestPropertyAccountingIdentities(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Size uint16
+	}
+	prop := func(ops []op) bool {
+		eng := des.New()
+		tr := NewTracker(eng, 1)
+		var stack, fronts, active, activePeak, stackPeak int64
+		for _, o := range ops {
+			sz := int64(o.Size%10_000) + 1
+			switch o.Kind % 4 {
+			case 0:
+				tr.PushCB(0, sz)
+				stack += sz
+			case 1:
+				if stack >= sz {
+					tr.PopCB(0, sz)
+					stack -= sz
+				}
+			case 2:
+				tr.AllocFront(0, sz)
+				fronts += sz
+			case 3:
+				if fronts >= sz {
+					tr.FreeFront(0, sz)
+					fronts -= sz
+				}
+			}
+			active = stack + fronts
+			if active > activePeak {
+				activePeak = active
+			}
+			if stack > stackPeak {
+				stackPeak = stack
+			}
+		}
+		p := &tr.Procs[0]
+		if p.Active() != active || p.Stack != stack || p.Fronts != fronts {
+			return false
+		}
+		if p.ActivePeak != activePeak || p.StackPeak != stackPeak {
+			return false
+		}
+		if p.PeakStack+p.PeakFronts != p.ActivePeak {
+			return false
+		}
+		// No factors were added, so the in-core total peak must coincide
+		// with the active peak.
+		if p.TotalPeak != activePeak || tr.MaxTotalPeak() != activePeak {
+			return false
+		}
+		return tr.MaxActivePeak() == activePeak && tr.MaxStackPeak() == stackPeak
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTraceMatchesPeaks: with tracing on, the maximum of the
+// trace samples equals the recorded peaks.
+func TestPropertyTraceMatchesPeaks(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		eng := des.New()
+		tr := NewTracker(eng, 1)
+		tr.Procs[0].EnableTrace()
+		var live []int64
+		for i, s := range sizes {
+			sz := int64(s%1000) + 1
+			if i%3 == 2 && len(live) > 0 {
+				tr.PopCB(0, live[len(live)-1])
+				live = live[:len(live)-1]
+			} else {
+				tr.PushCB(0, sz)
+				live = append(live, sz)
+			}
+			eng.After(1, func() {})
+		}
+		var maxA, maxS int64
+		for _, tp := range tr.Procs[0].Trace() {
+			if tp.Active > maxA {
+				maxA = tp.Active
+			}
+			if tp.Stack > maxS {
+				maxS = tp.Stack
+			}
+		}
+		return maxA == tr.Procs[0].ActivePeak && maxS == tr.Procs[0].StackPeak
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(32))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNegativePanicsInjection: popping or freeing more than is held is a
+// modeling bug and must panic loudly, not corrupt the accounting.
+func TestNegativePanicsInjection(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func(tr *Tracker)
+	}{
+		{"pop empty stack", func(tr *Tracker) { tr.PopCB(0, 1) }},
+		{"free empty fronts", func(tr *Tracker) { tr.FreeFront(0, 1) }},
+		{"over-pop", func(tr *Tracker) { tr.PushCB(0, 5); tr.PopCB(0, 6) }},
+		{"over-free", func(tr *Tracker) { tr.AllocFront(0, 5); tr.FreeFront(0, 6) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.f(NewTracker(des.New(), 1))
+		})
+	}
+}
+
+// TestSnapshotCapturedAtPeak: the snapshot callback runs exactly when the
+// active peak is raised, and PeakNote keeps the note from the peak, not
+// from later smaller states.
+func TestSnapshotCapturedAtPeak(t *testing.T) {
+	eng := des.New()
+	tr := NewTracker(eng, 1)
+	state := "low"
+	tr.SetSnapshot(0, func() string { return state })
+	tr.AllocFront(0, 100)
+	state = "high"
+	tr.AllocFront(0, 100) // peak raised here -> snapshot "high"
+	state = "after"
+	tr.FreeFront(0, 150) // lower: no snapshot
+	if tr.Procs[0].PeakNote != "high" {
+		t.Fatalf("PeakNote = %q, want %q", tr.Procs[0].PeakNote, "high")
+	}
+}

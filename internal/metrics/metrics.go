@@ -1,0 +1,113 @@
+// Package metrics provides the table assembly and formatting used by the
+// experiment harness to print paper-style result tables, plus the
+// percentage computations of Tables 2-6.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New returns an empty table.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row (stringifying each cell).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the aligned table as a string.
+func (t *Table) Render() string {
+	ncol := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", width[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", width[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// PercentDecrease returns 100*(base-new)/base — the paper's gain metric
+// (positive = improvement). Returns 0 for a zero base.
+func PercentDecrease(base, new int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(base-new) / float64(base)
+}
+
+// PercentIncrease returns 100*(new-base)/base — the paper's Table 6 loss
+// metric (positive = slower).
+func PercentIncrease(base, new int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(new-base) / float64(base)
+}
+
+// Millions formats an entry count in millions with two decimals, as in
+// the paper's Table 4.
+func Millions(v int64) string {
+	return fmt.Sprintf("%.2f", float64(v)/1e6)
+}

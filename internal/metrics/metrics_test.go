@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := New("Title", "A", "BB")
+	tbl.AddRow("x", 12)
+	tbl.AddRow("longer", 3.25)
+	out := tbl.Render()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "12") || !strings.Contains(lines[4], "3.2") {
+		t.Errorf("cells missing:\n%s", out)
+	}
+	// Columns aligned: header and rows same width.
+	if len(lines[1]) != len(lines[4]) {
+		t.Errorf("misaligned: %q vs %q", lines[1], lines[4])
+	}
+}
+
+func TestPercentDecrease(t *testing.T) {
+	if got := PercentDecrease(200, 100); got != 50 {
+		t.Errorf("got %v", got)
+	}
+	if got := PercentDecrease(100, 110); got != -10 {
+		t.Errorf("got %v", got)
+	}
+	if got := PercentDecrease(0, 5); got != 0 {
+		t.Errorf("zero base: %v", got)
+	}
+}
+
+func TestPercentIncrease(t *testing.T) {
+	if got := PercentIncrease(100, 150); got != 50 {
+		t.Errorf("got %v", got)
+	}
+	if got := PercentIncrease(0, 5); got != 0 {
+		t.Errorf("zero base: %v", got)
+	}
+}
+
+func TestMillions(t *testing.T) {
+	if got := Millions(7_560_000); got != "7.56" {
+		t.Errorf("got %q", got)
+	}
+	if got := Millions(0); got != "0.00" {
+		t.Errorf("got %q", got)
+	}
+}

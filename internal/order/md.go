@@ -1,0 +1,398 @@
+package order
+
+import (
+	"container/heap"
+
+	"repro/internal/graph"
+)
+
+// Quotient-graph minimum-degree engine shared by AMD and AMF.
+//
+// The engine maintains the standard quotient graph: uneliminated variables
+// carry a list of adjacent variables and a list of adjacent *elements*
+// (cliques created by past eliminations). Eliminating pivot p forms the
+// element L_p = (A_p ∪ ⋃_{e∈E_p} L_e) \ {eliminated}; elements reachable
+// from p are absorbed. Indistinguishable variables (identical quotient
+// adjacency) are merged into supervariables, which is what makes minimum
+// degree practical on matrices with large cliques.
+
+// ScoreFunc computes the selection score of a variable from its external
+// degree d (sum of supervariable weights of its quotient neighborhood) and
+// the sizes of its adjacent elements' boundaries. Lower scores are
+// eliminated first.
+type ScoreFunc func(d int, nv int, elemBoundaries []int) int64
+
+// ScoreAMD is the approximate-minimum-degree score: the external degree.
+func ScoreAMD(d, nv int, elemBoundaries []int) int64 {
+	return int64(d)
+}
+
+// ScoreAMF is the approximate-minimum-fill score (Rothberg/Eisenstat
+// style): d(d-1)/2 minus the clique area already covered by adjacent
+// elements, clamped at zero — eliminating inside an existing clique is
+// free. The approximate fill is combined lexicographically with the
+// external degree: huge swaths of variables reach fill 0 mid-elimination
+// (their neighborhood is covered by existing cliques), and breaking
+// those ties by degree instead of by vertex id is what keeps AMF's fill
+// near AMD's rather than degenerating toward the natural order.
+func ScoreAMF(d, nv int, elemBoundaries []int) int64 {
+	fill := int64(d) * int64(d-1) / 2
+	for _, b := range elemBoundaries {
+		eb := int64(b)
+		fill -= eb * (eb - 1) / 2
+	}
+	if fill < 0 {
+		fill = 0
+	}
+	return fill*(1<<20) + int64(d)
+}
+
+type mdNode struct {
+	score int64
+	v     int
+	stamp int64
+}
+
+type mdHeap []mdNode
+
+func (h mdHeap) Len() int { return len(h) }
+func (h mdHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score < h[j].score
+	}
+	return h[i].v < h[j].v // deterministic tie-breaking
+}
+func (h mdHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mdHeap) Push(x any)   { *h = append(*h, x.(mdNode)) }
+func (h *mdHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+type mdState struct {
+	n       int
+	adjVar  [][]int // variable -> adjacent variables (may contain stale ids)
+	adjElem [][]int // variable -> adjacent elements
+	elems   [][]int // element id -> boundary variables (stale-tolerant)
+	alive   []bool  // variable not yet eliminated/absorbed
+	elemOK  []bool  // element not yet absorbed
+	nv      []int   // supervariable weight
+	parent  []int   // absorption forest: absorbed var -> representative
+	mark    []int64
+	stamp   []int64 // heap lazy-deletion stamps
+	curMark int64
+	score   ScoreFunc
+	h       mdHeap
+}
+
+// MinimumDegree runs the quotient-graph minimum-degree algorithm on g with
+// the given scoring function and returns the elimination order
+// (new -> old). Supervariables expand to consecutive positions.
+func MinimumDegree(g *graph.Graph, score ScoreFunc) []int {
+	n := g.N
+	s := &mdState{
+		n:       n,
+		adjVar:  make([][]int, n),
+		adjElem: make([][]int, n),
+		alive:   make([]bool, n),
+		nv:      make([]int, n),
+		parent:  make([]int, n),
+		mark:    make([]int64, n),
+		stamp:   make([]int64, n),
+		score:   score,
+	}
+	for v := 0; v < n; v++ {
+		s.adjVar[v] = append([]int(nil), g.Neighbors(v)...)
+		s.alive[v] = true
+		s.nv[v] = 1
+		s.parent[v] = -1
+	}
+	heap.Init(&s.h)
+	for v := 0; v < n; v++ {
+		s.pushScore(v)
+	}
+
+	perm := make([]int, 0, n)
+	members := make([][]int, n) // supervariable members (absorbed vars), rep first
+	for v := 0; v < n; v++ {
+		members[v] = []int{v}
+	}
+
+	for len(perm) < n {
+		p := s.popMin()
+		if p < 0 {
+			// All heap entries stale; collect any remaining alive variables
+			// (isolated after absorption bookkeeping).
+			for v := 0; v < n; v++ {
+				if s.alive[v] {
+					perm = append(perm, members[v]...)
+					s.alive[v] = false
+				}
+			}
+			break
+		}
+		// Eliminate supervariable p: emit its members.
+		perm = append(perm, members[p]...)
+		s.alive[p] = false
+
+		// Build L_p.
+		lp := s.buildElement(p)
+		if len(lp) == 0 {
+			continue
+		}
+		eid := len(s.elems)
+		s.elems = append(s.elems, lp)
+		s.elemOK = append(s.elemOK, true)
+
+		// Clean each i in L_p: drop edges covered by the new element, drop
+		// absorbed elements, attach e.
+		s.curMark++
+		m := s.curMark
+		for _, i := range lp {
+			s.mark[i] = m
+		}
+		for _, i := range lp {
+			av := s.adjVar[i][:0]
+			for _, w := range s.adjVar[i] {
+				w = s.find(w)
+				if w == i || !s.alive[w] || s.mark[w] == m {
+					continue // covered by element e or gone
+				}
+				av = append(av, w)
+			}
+			s.adjVar[i] = dedupInts(av)
+			ae := s.adjElem[i][:0]
+			for _, e := range s.adjElem[i] {
+				if s.elemOK[e] {
+					ae = append(ae, e)
+				}
+			}
+			s.adjElem[i] = append(ae, eid)
+		}
+
+		// Supervariable detection among L_p: hash quotient adjacency.
+		s.mergeIndistinguishable(lp, members)
+
+		// Rescore surviving members of L_p.
+		for _, i := range lp {
+			if s.alive[i] {
+				s.pushScore(i)
+			}
+		}
+	}
+	return perm
+}
+
+func dedupInts(a []int) []int {
+	if len(a) < 2 {
+		return a
+	}
+	insertionSortInts(a)
+	out := a[:1]
+	for _, v := range a[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func insertionSortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > x {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+func (s *mdState) find(v int) int {
+	for s.parent[v] >= 0 {
+		if s.parent[s.parent[v]] >= 0 {
+			s.parent[v] = s.parent[s.parent[v]] // path halving
+		}
+		v = s.parent[v]
+	}
+	return v
+}
+
+// buildElement computes L_p = union of p's variable neighbors and the
+// boundaries of p's elements, excluding eliminated variables and p itself.
+// Elements of p are absorbed.
+func (s *mdState) buildElement(p int) []int {
+	s.curMark++
+	m := s.curMark
+	s.mark[p] = m
+	var lp []int
+	add := func(w int) {
+		w = s.find(w)
+		if s.alive[w] && s.mark[w] != m {
+			s.mark[w] = m
+			lp = append(lp, w)
+		}
+	}
+	for _, w := range s.adjVar[p] {
+		add(w)
+	}
+	for _, e := range s.adjElem[p] {
+		if !s.elemOK[e] {
+			continue
+		}
+		for _, w := range s.elems[e] {
+			add(w)
+		}
+		s.elemOK[e] = false // absorbed into the new element
+	}
+	insertionSortInts(lp)
+	return lp
+}
+
+// externalDegree computes the weighted external degree of i and collects
+// the boundary sizes (excluding i) of its adjacent elements for AMF.
+func (s *mdState) externalDegree(i int) (d int, elemBounds []int) {
+	s.curMark++
+	m := s.curMark
+	s.mark[i] = m
+	for _, w := range s.adjVar[i] {
+		w = s.find(w)
+		if s.alive[w] && s.mark[w] != m {
+			s.mark[w] = m
+			d += s.nv[w]
+		}
+	}
+	for _, e := range s.adjElem[i] {
+		if !s.elemOK[e] {
+			continue
+		}
+		b := 0
+		for _, w := range s.elems[e] {
+			w = s.find(w)
+			if !s.alive[w] || w == i {
+				continue
+			}
+			b += s.nv[w]
+			if s.mark[w] != m {
+				s.mark[w] = m
+				d += s.nv[w]
+			}
+		}
+		elemBounds = append(elemBounds, b)
+	}
+	return d, elemBounds
+}
+
+func (s *mdState) pushScore(v int) {
+	d, eb := s.externalDegree(v)
+	s.stamp[v]++
+	heap.Push(&s.h, mdNode{score: s.score(d, s.nv[v], eb), v: v, stamp: s.stamp[v]})
+}
+
+func (s *mdState) popMin() int {
+	for s.h.Len() > 0 {
+		nd := heap.Pop(&s.h).(mdNode)
+		if s.alive[nd.v] && s.stamp[nd.v] == nd.stamp {
+			return nd.v
+		}
+	}
+	return -1
+}
+
+// mergeIndistinguishable merges variables of lp with identical quotient
+// adjacency into supervariables.
+func (s *mdState) mergeIndistinguishable(lp []int, members [][]int) {
+	type bucket struct{ vars []int }
+	buckets := make(map[uint64]*bucket)
+	for _, i := range lp {
+		if !s.alive[i] {
+			continue
+		}
+		h := uint64(17)
+		for _, w := range s.adjVar[i] {
+			h = h*31 + uint64(s.find(w))*2654435761
+		}
+		for _, e := range s.adjElem[i] {
+			if s.elemOK[e] {
+				h = h*37 + uint64(e)*40503
+			}
+		}
+		b := buckets[h]
+		if b == nil {
+			b = &bucket{}
+			buckets[h] = b
+		}
+		b.vars = append(b.vars, i)
+	}
+	for _, b := range buckets {
+		if len(b.vars) < 2 {
+			continue
+		}
+		for x := 0; x < len(b.vars); x++ {
+			i := b.vars[x]
+			if !s.alive[i] {
+				continue
+			}
+			for y := x + 1; y < len(b.vars); y++ {
+				j := b.vars[y]
+				if !s.alive[j] || !s.sameAdjacency(i, j) {
+					continue
+				}
+				// Absorb j into i.
+				s.alive[j] = false
+				s.parent[j] = i
+				s.nv[i] += s.nv[j]
+				members[i] = append(members[i], members[j]...)
+				members[j] = nil
+				s.adjVar[j] = nil
+				s.adjElem[j] = nil
+			}
+		}
+	}
+}
+
+func (s *mdState) sameAdjacency(i, j int) bool {
+	// Compare live element lists.
+	ei := liveElems(s, i)
+	ej := liveElems(s, j)
+	if len(ei) != len(ej) {
+		return false
+	}
+	for k := range ei {
+		if ei[k] != ej[k] {
+			return false
+		}
+	}
+	// Compare variable lists modulo i/j themselves.
+	vi := liveVars(s, i, j)
+	vj := liveVars(s, j, i)
+	if len(vi) != len(vj) {
+		return false
+	}
+	for k := range vi {
+		if vi[k] != vj[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func liveElems(s *mdState, i int) []int {
+	var out []int
+	for _, e := range s.adjElem[i] {
+		if s.elemOK[e] {
+			out = append(out, e)
+		}
+	}
+	insertionSortInts(out)
+	return out
+}
+
+func liveVars(s *mdState, i, excl int) []int {
+	var out []int
+	for _, w := range s.adjVar[i] {
+		w = s.find(w)
+		if s.alive[w] && w != i && w != excl {
+			out = append(out, w)
+		}
+	}
+	return dedupInts(out)
+}

@@ -1,0 +1,154 @@
+package parsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/assembly"
+	"repro/internal/des"
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+// fuzzConfig builds a full simulation config from fuzz bytes: a random
+// small matrix, a random ordering, a random processor count and strategy
+// toggles.
+func fuzzConfig(nRaw uint8, edges []uint16, pRaw, stRaw uint8) Config {
+	n := 8 + int(nRaw)%48
+	b := sparse.NewBuilder(n, sparse.Symmetric)
+	for j := 0; j < n; j++ {
+		b.Add(j, j, float64(n))
+		if j+1 < n {
+			b.Add(j+1, j, -1)
+		}
+	}
+	for _, e := range edges {
+		i, j := int(e)%n, int(e>>7)%n
+		if i > j {
+			b.Add(i, j, -1)
+		}
+	}
+	a := b.Build()
+	m := order.Methods[int(stRaw>>4)%len(order.Methods)]
+	tree, _ := assembly.Analyze(a, assembly.Options{Ordering: m})
+	assembly.SortChildrenLiu(tree)
+	p := 1 + int(pRaw)%9
+	mp := assembly.Map(tree, assembly.DefaultMapOptions(p))
+	return Config{
+		Tree: tree,
+		Map:  mp,
+		Strategy: Strategy{
+			MemorySlaveSelection: stRaw&1 != 0,
+			UseSubtreeInfo:       stRaw&2 != 0,
+			UsePrediction:        stRaw&4 != 0,
+			MemoryTaskSelection:  stRaw&8 != 0,
+			HybridSlaveSelection: stRaw&16 != 0,
+		},
+		Params: DefaultParams(),
+	}
+}
+
+// TestPropertySimulationConservation: on fuzzed matrices, orderings,
+// processor counts and strategy combinations, the simulation terminates
+// with every node done, produces exactly the model's factor entries, and
+// ends with zero transient memory (Run itself checks the drain and
+// returns an error otherwise).
+func TestPropertySimulationConservation(t *testing.T) {
+	prop := func(nRaw uint8, edges []uint16, pRaw, stRaw uint8) bool {
+		cfg := fuzzConfig(nRaw, edges, pRaw, stRaw)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		if res.NodesDone != cfg.Tree.Len() {
+			return false
+		}
+		if res.TotalFactors != assembly.TotalFactorEntries(cfg.Tree) {
+			t.Logf("factors %d, model %d",
+				res.TotalFactors, assembly.TotalFactorEntries(cfg.Tree))
+			return false
+		}
+		if res.MaxActivePeak <= 0 || res.Makespan <= 0 {
+			return false
+		}
+		// The max peak is the max of the per-proc peaks.
+		var m int64
+		for _, v := range res.PerProcPeak {
+			if v > m {
+				m = v
+			}
+		}
+		return m == res.MaxActivePeak
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(51))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDeterminism: identical configurations give identical
+// results (the DES is deterministic; MUMPS itself is not, as the paper
+// notes — determinism is what makes our tables reproducible).
+func TestPropertyDeterminism(t *testing.T) {
+	prop := func(nRaw uint8, edges []uint16, pRaw, stRaw uint8) bool {
+		cfg := fuzzConfig(nRaw, edges, pRaw, stRaw)
+		r1, err1 := Run(cfg)
+		r2, err2 := Run(cfg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.MaxActivePeak == r2.MaxActivePeak &&
+			r1.Makespan == r2.Makespan &&
+			r1.Messages == r2.Messages &&
+			r1.Bytes == r2.Bytes &&
+			r1.SlaveSelections == r2.SlaveSelections &&
+			r1.Alg2Deviations == r2.Alg2Deviations
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(52))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySingleProcMatchesSequentialPeak: on one processor with no
+// type-2/3 parallelism, the simulated peak equals the analytic
+// sequential peak of the (Liu-ordered) tree.
+func TestPropertySingleProcMatchesSequentialPeak(t *testing.T) {
+	prop := func(nRaw uint8, edges []uint16) bool {
+		cfg := fuzzConfig(nRaw, edges, 0, 0) // pRaw=0 -> P=1
+		peaks := assembly.SequentialPeaks(cfg.Tree)
+		want := assembly.TreePeak(peaks, cfg.Tree)
+		res, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		return res.MaxActivePeak == want
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(53))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLatencyNeverLosesWork: even under extreme latency or tiny
+// bandwidth the simulation completes all nodes (messages are delayed,
+// never dropped).
+func TestPropertyLatencyNeverLosesWork(t *testing.T) {
+	prop := func(nRaw uint8, edges []uint16, latRaw uint16) bool {
+		cfg := fuzzConfig(nRaw, edges, 3, 0xF)
+		cfg.Params.Comm.Latency = des.Time(latRaw) * 1_000_000 // up to ~65ms
+		cfg.Params.Comm.Bandwidth = 1e6                        // 1 MB/s
+		res, err := Run(cfg)
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		return res.NodesDone == cfg.Tree.Len()
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(54))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

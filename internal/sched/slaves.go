@@ -1,0 +1,262 @@
+package sched
+
+import "sort"
+
+// Allocation is one slave's share of a type-2 front: Rows contribution-
+// block rows of the 1D row blocking (Figure 3).
+type Allocation struct {
+	Proc int
+	Rows int
+}
+
+// SelectSlavesWorkload is the MUMPS baseline (Section 3): the master
+// chooses processors less loaded than itself and splits the CB rows so
+// that each slave's work is comparable to the master's own task workload.
+//
+//	cands:       candidate processors (excluding the master)
+//	masterLoad:  the master's current workload (flops)
+//	loads:       workload view indexed by processor
+//	ncbRows:     contribution rows to distribute
+//	masterFlops: elimination flops of the master part of this front
+//	rowFlops:    elimination flops of one CB row
+//
+// At least one slave is always selected (the least-loaded candidate if
+// nobody is below the master's load).
+func SelectSlavesWorkload(cands []int, masterLoad int64, loads []int64,
+	ncbRows int, masterFlops, rowFlops int64) []Allocation {
+	if len(cands) == 0 || ncbRows == 0 {
+		return nil
+	}
+	// Prefer processors less loaded than the master.
+	pref := make([]int, 0, len(cands))
+	for _, q := range cands {
+		if loads[q] < masterLoad {
+			pref = append(pref, q)
+		}
+	}
+	if len(pref) == 0 {
+		// Granularity fallback: take the single least-loaded candidate.
+		best := cands[0]
+		for _, q := range cands[1:] {
+			if loads[q] < loads[best] || (loads[q] == loads[best] && q < best) {
+				best = q
+			}
+		}
+		pref = []int{best}
+	}
+	sort.Slice(pref, func(a, b int) bool {
+		if loads[pref[a]] != loads[pref[b]] {
+			return loads[pref[a]] < loads[pref[b]]
+		}
+		return pref[a] < pref[b]
+	})
+	// Balance slave work against the master's task: each slave should get
+	// about masterFlops worth of rows — subject to the MUMPS granularity
+	// constraint that no slave receives more than kmax rows, which forces
+	// large fronts onto many processors.
+	totalSlaveFlops := rowFlops * int64(ncbRows)
+	want := 1
+	if masterFlops > 0 {
+		want = int(totalSlaveFlops / masterFlops)
+	}
+	kmax := 32
+	if k := (ncbRows + len(cands) - 1) / len(cands); k > kmax {
+		kmax = k
+	}
+	if minSlaves := (ncbRows + kmax - 1) / kmax; want < minSlaves {
+		want = minSlaves
+	}
+	if want < 1 {
+		want = 1
+	}
+	if want > len(pref) {
+		want = len(pref)
+	}
+	if want > ncbRows {
+		want = ncbRows
+	}
+	chosen := pref[:want]
+	out := make([]Allocation, 0, want)
+	base := ncbRows / want
+	extra := ncbRows % want
+	for k, q := range chosen {
+		r := base
+		if k < extra {
+			r++
+		}
+		if r > 0 {
+			out = append(out, Allocation{Proc: q, Rows: r})
+		}
+	}
+	return out
+}
+
+// SelectSlavesMemory is Algorithm 1 of the paper: the master sorts
+// candidates by the memory metric and picks the smallest set that levels
+// memory without raising the current peak (Figure 4), filling each chosen
+// processor up to the level of the highest chosen one and splitting the
+// remainder equitably.
+//
+//	cands:    candidate processors (excluding the master)
+//	metric:   memory metric per processor (Section 4 instantaneous memory,
+//	          or the Section 5.1 metric with subtree/prediction terms)
+//	nfront:   front order (a row costs nfront entries)
+//	ncbRows:  contribution rows to distribute
+//	peak:     memory peak observed since the beginning of the
+//	          factorization (the dashed line of Figure 4); <=0 disables
+//	          peak preservation
+//
+// The "surface of the frontal matrix" is the slave area ncbRows*nfront.
+//
+// Peak preservation: the paper's biggest-i rule alone degenerates when
+// one candidate looks much cheaper than every other (e.g. everyone else
+// is under a large-subtree projection): i collapses to 1 and the entire
+// surface lands on a single processor, high above the current peak —
+// exactly what the algorithm is stated to avoid. When the fill height of
+// the chosen prefix would exceed the observed peak, the set is extended
+// by water-filling over more candidates until the height drops back
+// under it (or no candidate under the water line remains).
+func SelectSlavesMemory(cands []int, metric func(q int) int64,
+	nfront, ncbRows int, peak int64) []Allocation {
+	if len(cands) == 0 || ncbRows == 0 {
+		return nil
+	}
+	srt := append([]int(nil), cands...)
+	sort.Slice(srt, func(a, b int) bool {
+		ma, mb := metric(srt[a]), metric(srt[b])
+		if ma != mb {
+			return ma < mb
+		}
+		return srt[a] < srt[b]
+	})
+	surface := int64(ncbRows) * int64(nfront)
+	// prefix[i] = sum of the i lowest metrics.
+	prefix := make([]int64, len(srt)+1)
+	for i, q := range srt {
+		prefix[i+1] = prefix[i] + metric(q)
+	}
+	// Water-fill height after pouring the whole surface on the i lowest.
+	height := func(i int) int64 { return (surface + prefix[i]) / int64(i) }
+	// The paper's rule: biggest i with sum_{j<=i} (MEM[i]-MEM[j]) <= surface.
+	best := 1
+	for i := 1; i <= len(srt); i++ {
+		if int64(i)*metric(srt[i-1])-prefix[i] <= surface {
+			best = i
+		} else {
+			break // the deficit sum is nondecreasing in i
+		}
+	}
+	// Peak preservation: extend while the fill height exceeds the
+	// observed peak and the next candidate would still sit under the new
+	// water line (otherwise adding it cannot lower the height).
+	for peak > 0 && best < len(srt) && height(best) > peak &&
+		metric(srt[best]) < height(best+1) {
+		best++
+	}
+	chosen := srt[:best]
+	// Fill target: the level of the highest chosen processor (the paper's
+	// level-fill) — but never above the water-fill height, which is what
+	// the extended set levels to.
+	level := metric(chosen[len(chosen)-1])
+	if h := height(best); h < level {
+		level = h
+	}
+	// Level-fill: give each processor (level - MEM[j])/nfront rows.
+	rows := make([]int, best)
+	given := 0
+	for j, q := range chosen {
+		r := int((level - metric(q)) / int64(nfront))
+		if r < 0 {
+			r = 0
+		}
+		if r > ncbRows-given {
+			r = ncbRows - given
+		}
+		rows[j] = r
+		given += r
+	}
+	// Distribute the remaining rows equitably.
+	rem := ncbRows - given
+	for j := 0; rem > 0; j = (j + 1) % best {
+		rows[j]++
+		rem--
+	}
+	out := make([]Allocation, 0, best)
+	for j, q := range chosen {
+		if rows[j] > 0 {
+			out = append(out, Allocation{Proc: q, Rows: rows[j]})
+		}
+	}
+	return out
+}
+
+// SelectSlavesHybrid is the hybrid strategy sketched in the paper's
+// conclusion ("hybrid strategies well adapted at both balancing the
+// workload and the memory need to be designed"): restrict the candidates
+// to processors less loaded than the master — the workload constraint of
+// the MUMPS baseline — then run the memory-based Algorithm 1 on that
+// subset. If no candidate is under the master's load, the constraint is
+// dropped (memory-only fallback), mirroring the baseline's own fallback.
+func SelectSlavesHybrid(cands []int, metric func(q int) int64,
+	masterLoad int64, loads []int64, nfront, ncbRows int, peak int64) []Allocation {
+	if len(cands) == 0 || ncbRows == 0 {
+		return nil
+	}
+	pref := make([]int, 0, len(cands))
+	for _, q := range cands {
+		if loads[q] < masterLoad {
+			pref = append(pref, q)
+		}
+	}
+	if len(pref) == 0 {
+		pref = cands
+	}
+	return SelectSlavesMemory(pref, metric, nfront, ncbRows, peak)
+}
+
+// RebalanceRows redistributes the row counts of an allocation so that
+// each slave's block has approximately equal total cost under a
+// non-uniform per-row cost, keeping blocks contiguous and the processor
+// order unchanged. costPrefix(t) must return the total cost of the first
+// t rows (nondecreasing, costPrefix(0)=0). This is the paper's Figure 3
+// "irregular" symmetric blocking: in a triangular front later rows are
+// longer, so equal work means decreasing row counts. Row conservation is
+// exact; every slave keeps at least one row.
+func RebalanceRows(allocs []Allocation, ncbRows int, costPrefix func(int) int64) []Allocation {
+	k := len(allocs)
+	if k <= 1 || ncbRows < k {
+		return allocs
+	}
+	total := costPrefix(ncbRows)
+	if total <= 0 {
+		return allocs
+	}
+	out := make([]Allocation, k)
+	prev := 0
+	for j := 0; j < k; j++ {
+		var hi int
+		if j == k-1 {
+			hi = ncbRows
+		} else {
+			// Smallest boundary whose prefix reaches the fair share,
+			// leaving at least one row for each remaining slave.
+			target := total * int64(j+1) / int64(k)
+			hi = prev + 1
+			for hi < ncbRows-(k-1-j) && costPrefix(hi) < target {
+				hi++
+			}
+		}
+		out[j] = Allocation{Proc: allocs[j].Proc, Rows: hi - prev}
+		prev = hi
+	}
+	return out
+}
+
+// TotalRows sums the rows of an allocation (used by invariants/tests).
+func TotalRows(allocs []Allocation) int {
+	s := 0
+	for _, a := range allocs {
+		s += a.Rows
+	}
+	return s
+}

@@ -1,0 +1,323 @@
+// Package seqmf is the sequential numeric multifrontal solver: it factors a
+// permuted sparse matrix by walking the assembly tree in postorder,
+// assembling each front (original entries + children contribution blocks
+// via extend-add), running a partial dense factorization, and stacking the
+// contribution block for the parent — exactly the storage scheme of
+// Section 2 of the paper (factors area / CB stack / active front).
+//
+// Symmetric positive definite matrices use partial Cholesky; unsymmetric
+// matrices use partial LU on the symmetrized structure. Pivoting is static
+// (see dense.ErrSmallPivot).
+package seqmf
+
+import (
+	"fmt"
+
+	"repro/internal/assembly"
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// Stats records the memory and work of a factorization, in the same units
+// as the assembly cost model (logical entries: triangles for symmetric).
+type Stats struct {
+	FactorEntries int64 // total factor storage
+	PeakStack     int64 // peak of CB stack + active front
+	FinalStack    int64 // stack entries left at the end (root CBs; 0 normally)
+	Fronts        int   // number of fronts processed
+	MaxFront      int   // largest front order
+	AssemblyOps   int64 // extend-add operations
+}
+
+// Factors holds the numeric factorization.
+type Factors struct {
+	Tree  *assembly.Tree
+	Kind  sparse.Type
+	N     int
+	Stats Stats
+
+	nodes []nodeFactor
+	post  []int
+}
+
+type nodeFactor struct {
+	rows []int // global front indices: pivot columns then CB rows
+	npiv int
+	l    *dense.Matrix // f x npiv lower trapezoid (diag: Cholesky=L(k,k), LU=1 implicit)
+	u    *dense.Matrix // npiv x f upper trapezoid (LU only, holds U diag)
+}
+
+// Options configures the numeric factorization.
+type Options struct {
+	PivotTol float64 // minimum pivot magnitude for LU
+}
+
+// DefaultOptions returns the standard settings.
+func DefaultOptions() Options { return Options{PivotTol: 1e-12} }
+
+// Factorize factors the permuted matrix pa whose assembly tree is tree.
+// pa must carry numerical values.
+func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, error) {
+	if !pa.HasValues() {
+		return nil, fmt.Errorf("seqmf: matrix has no values")
+	}
+	if pa.N != tree.N {
+		return nil, fmt.Errorf("seqmf: matrix order %d vs tree %d", pa.N, tree.N)
+	}
+	f := &Factors{
+		Tree:  tree,
+		Kind:  pa.Kind,
+		N:     pa.N,
+		nodes: make([]nodeFactor, tree.Len()),
+		post:  tree.Postorder(),
+	}
+	var pat *sparse.CSC // transpose for the unsymmetric upper parts
+	if pa.Kind == sparse.Unsymmetric {
+		pat = sparse.Transpose(pa)
+	}
+	// colOwner: column -> node.
+	colOwner := make([]int, pa.N)
+	for i := range tree.Nodes {
+		nd := &tree.Nodes[i]
+		for j := nd.Begin; j < nd.End; j++ {
+			colOwner[j] = i
+		}
+	}
+	loc := make([]int, pa.N) // global -> local front index, stamped
+	stamp := make([]int, pa.N)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+
+	cbs := make([]*dense.Matrix, tree.Len()) // live contribution blocks
+	var stack int64                          // live CB entries (model units)
+	bump := func(cur int64) {
+		if cur > f.Stats.PeakStack {
+			f.Stats.PeakStack = cur
+		}
+	}
+
+	for _, ni := range f.post {
+		nd := &tree.Nodes[ni]
+		npiv := nd.NPiv()
+		nf := nd.NFront()
+		rows := make([]int, 0, nf)
+		for j := nd.Begin; j < nd.End; j++ {
+			rows = append(rows, j)
+		}
+		rows = append(rows, nd.Rows...)
+		for k, g := range rows {
+			loc[g] = k
+			stamp[g] = ni
+		}
+
+		front := dense.New(nf, nf)
+		frontEntries := assembly.FrontEntries(nd, tree.Kind)
+		bump(stack + frontEntries)
+
+		// Scatter original entries owned by this node.
+		for j := nd.Begin; j < nd.End; j++ {
+			lj := loc[j]
+			cols := pa.Col(j)
+			vals := pa.ColVal(j)
+			for p, i := range cols {
+				if pa.Kind == sparse.Symmetric {
+					if i < j {
+						continue
+					}
+					front.Add(loc[i], lj, vals[p])
+					continue
+				}
+				// Unsymmetric: entry (i,j) belongs here iff min(i,j) is ours,
+				// i.e. i >= Begin (j is ours already).
+				if i >= nd.Begin {
+					if stamp[i] != ni {
+						return nil, fmt.Errorf("seqmf: structure misses row %d in front %d", i, ni)
+					}
+					front.Add(loc[i], lj, vals[p])
+				}
+			}
+			if pat != nil {
+				// Row j entries (j, c) with c beyond this node's pivots.
+				cols := pat.Col(j)
+				vals := pat.ColVal(j)
+				for p, c := range cols {
+					if c < nd.End {
+						continue // handled by a column scatter
+					}
+					if stamp[c] != ni {
+						return nil, fmt.Errorf("seqmf: structure misses col %d in front %d", c, ni)
+					}
+					front.Add(lj, loc[c], vals[p])
+				}
+			}
+		}
+
+		// Extend-add children.
+		for _, c := range nd.Children {
+			cb := cbs[c]
+			if cb == nil {
+				return nil, fmt.Errorf("seqmf: child %d CB missing at node %d", c, ni)
+			}
+			child := &tree.Nodes[c]
+			idx := make([]int, len(child.Rows))
+			for k, g := range child.Rows {
+				if stamp[g] != ni {
+					return nil, fmt.Errorf("seqmf: child %d row %d not in parent %d front", c, g, ni)
+				}
+				idx[k] = loc[g]
+			}
+			if tree.Kind == sparse.Symmetric {
+				dense.ExtendAddLower(front, cb, idx)
+			} else {
+				dense.ExtendAdd(front, cb, idx)
+			}
+			f.Stats.AssemblyOps += assembly.CBEntries(child, tree.Kind)
+		}
+		// Free children CBs now that the front is assembled.
+		for _, c := range nd.Children {
+			stack -= assembly.CBEntries(&tree.Nodes[c], tree.Kind)
+			cbs[c] = nil
+		}
+		bump(stack + frontEntries)
+
+		// Partial factorization.
+		var err error
+		if pa.Kind == sparse.Symmetric {
+			err = dense.PartialCholesky(front, npiv)
+		} else {
+			err = dense.PartialLU(front, npiv, opt.PivotTol)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("seqmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
+		}
+
+		// Extract factor pieces.
+		nfac := nodeFactor{rows: rows, npiv: npiv}
+		nfac.l = dense.New(nf, npiv)
+		for i := 0; i < nf; i++ {
+			for k := 0; k < npiv && k <= i; k++ {
+				nfac.l.Set(i, k, front.At(i, k))
+			}
+		}
+		if pa.Kind == sparse.Unsymmetric {
+			nfac.u = dense.New(npiv, nf)
+			for k := 0; k < npiv; k++ {
+				for j := k; j < nf; j++ {
+					nfac.u.Set(k, j, front.At(k, j))
+				}
+			}
+		}
+		f.nodes[ni] = nfac
+		f.Stats.FactorEntries += assembly.FactorEntries(nd, tree.Kind)
+		f.Stats.Fronts++
+		if nf > f.Stats.MaxFront {
+			f.Stats.MaxFront = nf
+		}
+
+		// Stack the contribution block.
+		ncb := nd.NCB()
+		if ncb > 0 {
+			cb := dense.New(ncb, ncb)
+			for i := 0; i < ncb; i++ {
+				for j := 0; j < ncb; j++ {
+					if tree.Kind == sparse.Symmetric && j > i {
+						continue
+					}
+					cb.Set(i, j, front.At(npiv+i, npiv+j))
+				}
+			}
+			cbs[ni] = cb
+			stack += assembly.CBEntries(nd, tree.Kind)
+			bump(stack)
+		}
+	}
+	f.Stats.FinalStack = stack
+	return f, nil
+}
+
+// Solve solves A x = b for the permuted system (b and the result are in the
+// permuted index space; see SolveOriginal for the original ordering).
+// b is not modified.
+func (f *Factors) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.N {
+		return nil, fmt.Errorf("seqmf: rhs length %d, want %d", len(b), f.N)
+	}
+	x := append([]float64(nil), b...)
+	// Forward: y = L^{-1} b, walking fronts in postorder.
+	for _, ni := range f.post {
+		nf := &f.nodes[ni]
+		xl := gather(x, nf.rows)
+		for k := 0; k < nf.npiv; k++ {
+			if f.Kind == sparse.Symmetric {
+				xl[k] /= nf.l.At(k, k)
+			}
+			v := xl[k]
+			if v == 0 {
+				continue
+			}
+			for i := k + 1; i < len(nf.rows); i++ {
+				xl[i] -= nf.l.At(i, k) * v
+			}
+		}
+		scatter(x, nf.rows, xl)
+	}
+	// Backward: x = U^{-1} y (or L^{-T} y), reverse postorder.
+	for p := len(f.post) - 1; p >= 0; p-- {
+		nf := &f.nodes[f.post[p]]
+		xl := gather(x, nf.rows)
+		for k := nf.npiv - 1; k >= 0; k-- {
+			s := xl[k]
+			if f.Kind == sparse.Symmetric {
+				// Row k of L^T = column k of L.
+				for i := k + 1; i < len(nf.rows); i++ {
+					s -= nf.l.At(i, k) * xl[i]
+				}
+				xl[k] = s / nf.l.At(k, k)
+			} else {
+				for j := k + 1; j < len(nf.rows); j++ {
+					s -= nf.u.At(k, j) * xl[j]
+				}
+				xl[k] = s / nf.u.At(k, k)
+			}
+		}
+		scatter(x, nf.rows, xl)
+	}
+	return x, nil
+}
+
+// SolveOriginal solves for a right-hand side given in the *original*
+// (pre-permutation) ordering, returning x in the original ordering.
+func (f *Factors) SolveOriginal(b []float64) ([]float64, error) {
+	perm := f.Tree.Perm
+	if perm == nil {
+		return f.Solve(b)
+	}
+	pb := make([]float64, len(b))
+	for newI, oldI := range perm {
+		pb[newI] = b[oldI]
+	}
+	px, err := f.Solve(pb)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	for newI, oldI := range perm {
+		x[oldI] = px[newI]
+	}
+	return x, nil
+}
+
+func gather(x []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for k, g := range idx {
+		out[k] = x[g]
+	}
+	return out
+}
+
+func scatter(x []float64, idx []int, v []float64) {
+	for k, g := range idx {
+		x[g] = v[k]
+	}
+}

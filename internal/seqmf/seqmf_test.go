@@ -1,0 +1,228 @@
+package seqmf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/assembly"
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+func residual(a *sparse.CSC, x, b []float64) float64 {
+	ax := a.MulVec(x)
+	var rn, bn float64
+	for i := range b {
+		d := ax[i] - b[i]
+		rn += d * d
+		bn += b[i] * b[i]
+	}
+	if bn == 0 {
+		return math.Sqrt(rn)
+	}
+	return math.Sqrt(rn / bn)
+}
+
+func solveAndCheck(t *testing.T, a *sparse.CSC, m order.Method, tol float64) *Factors {
+	t.Helper()
+	tree, pa := assembly.Analyze(a, assembly.DefaultOptions(m))
+	assembly.SortChildrenLiu(tree)
+	f, err := Factorize(pa, tree, DefaultOptions())
+	if err != nil {
+		t.Fatalf("%v: %v", m, err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := f.SolveOriginal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, x, b); r > tol {
+		t.Fatalf("%v: residual %g > %g", m, r, tol)
+	}
+	return f
+}
+
+func TestSolveSPDGridAllOrderings(t *testing.T) {
+	a := sparse.Grid2D(12, 12)
+	for _, m := range order.Methods {
+		solveAndCheck(t, a, m, 1e-8)
+	}
+}
+
+func TestSolveSPD3D(t *testing.T) {
+	solveAndCheck(t, sparse.Grid3D(6, 6, 6), order.ND, 1e-8)
+}
+
+func TestSolveUnsymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := sparse.Grid3DUnsym(5, 5, 5, rng)
+	for _, m := range order.Methods {
+		solveAndCheck(t, a, m, 1e-8)
+	}
+}
+
+func TestSolveCircuit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := sparse.CircuitUnsym(200, 150, 2, rng)
+	solveAndCheck(t, a, order.AMD, 1e-7)
+}
+
+func TestSolveShell(t *testing.T) {
+	solveAndCheck(t, sparse.Shell(6, 6, 3), order.PORD, 1e-8)
+}
+
+func TestMeasuredPeakMatchesModel(t *testing.T) {
+	// The factorization's measured stack peak must equal the sequential
+	// peak predicted by the assembly cost model with the same child order.
+	for _, m := range []order.Method{order.AMD, order.ND} {
+		a := sparse.Grid2D(10, 10)
+		tree, pa := assembly.Analyze(a, assembly.DefaultOptions(m))
+		peaks := assembly.SortChildrenLiu(tree)
+		want := assembly.TreePeak(peaks, tree)
+		f, err := Factorize(pa, tree, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Stats.PeakStack != want {
+			t.Errorf("%v: measured peak %d != model %d", m, f.Stats.PeakStack, want)
+		}
+		if f.Stats.FinalStack != 0 {
+			t.Errorf("%v: %d entries left on stack", m, f.Stats.FinalStack)
+		}
+	}
+}
+
+func TestFactorEntriesMatchModel(t *testing.T) {
+	a := sparse.Grid2D(9, 9)
+	tree, pa := assembly.Analyze(a, assembly.DefaultOptions(order.AMD))
+	f, err := Factorize(pa, tree, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats.FactorEntries != assembly.TotalFactorEntries(tree) {
+		t.Errorf("factor entries %d != model %d", f.Stats.FactorEntries, assembly.TotalFactorEntries(tree))
+	}
+	if f.Stats.Fronts != tree.Len() {
+		t.Errorf("fronts %d != nodes %d", f.Stats.Fronts, tree.Len())
+	}
+}
+
+func TestLiuOrderingReducesMeasuredPeak(t *testing.T) {
+	// On a tree where Liu reordering helps, the *measured* peak must drop
+	// accordingly (model and measurement move together).
+	a := sparse.Grid3D(5, 5, 5)
+	tree, pa := assembly.Analyze(a, assembly.DefaultOptions(order.AMF))
+	f1, err := Factorize(pa, tree, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assembly.SortChildrenLiu(tree)
+	f2, err := Factorize(pa, tree, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Stats.PeakStack > f1.Stats.PeakStack {
+		t.Errorf("Liu ordering increased measured peak: %d -> %d",
+			f1.Stats.PeakStack, f2.Stats.PeakStack)
+	}
+}
+
+func TestSolvePermutedVsOriginal(t *testing.T) {
+	a := sparse.Grid2D(8, 8)
+	tree, pa := assembly.Analyze(a, assembly.DefaultOptions(order.AMD))
+	f, err := Factorize(pa, tree, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	x, err := f.SolveOriginal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, x, b); r > 1e-9 {
+		t.Errorf("residual %g", r)
+	}
+}
+
+func TestFactorizeErrors(t *testing.T) {
+	a := sparse.Grid2D(4, 4)
+	tree, pa := assembly.Analyze(a, assembly.DefaultOptions(order.AMD))
+	pat := pa.Clone()
+	pat.Val = nil
+	if _, err := Factorize(pat, tree, DefaultOptions()); err == nil {
+		t.Error("pattern-only matrix accepted")
+	}
+	small, _ := assembly.Analyze(sparse.Grid2D(2, 2), assembly.DefaultOptions(order.AMD))
+	if _, err := Factorize(pa, small, DefaultOptions()); err == nil {
+		t.Error("mismatched tree accepted")
+	}
+	if _, err := (&Factors{N: 4}).Solve(make([]float64, 3)); err == nil {
+		t.Error("short rhs accepted")
+	}
+}
+
+func TestSolveOnSplitTree(t *testing.T) {
+	// Numeric factorization must remain correct on a split tree (chain
+	// links tile the same pivots).
+	a := sparse.Grid2D(14, 14)
+	tree, pa := assembly.Analyze(a, assembly.DefaultOptions(order.ND))
+	nt, count := assembly.Split(tree, assembly.SplitOptions{MaxMasterEntries: 300, MinPiv: 3})
+	if count == 0 {
+		t.Skip("nothing split at this size")
+	}
+	f, err := Factorize(pa, nt, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	x, err := f.SolveOriginal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, x, b); r > 1e-8 {
+		t.Errorf("split-tree residual %g", r)
+	}
+}
+
+func TestSolvePropertyRandomSPD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(80)
+		a := sparse.RandomSPDPattern(n, 3, rng)
+		tree, pa := assembly.Analyze(a, assembly.DefaultOptions(order.AMD))
+		fac, err := Factorize(pa, tree, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x0)
+		x, err := fac.SolveOriginal(b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-x0[i]) > 1e-6*(1+math.Abs(x0[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package sparse
+
+import "sort"
+
+// Builder accumulates entries in coordinate form and compresses them into a
+// CSC matrix, summing duplicates. It is the standard way to construct
+// matrices in this package.
+type Builder struct {
+	n    int
+	kind Type
+	rows []int
+	cols []int
+	vals []float64
+}
+
+// NewBuilder returns a builder for an n x n matrix of the given kind.
+// For Symmetric matrices callers must add lower-triangular entries only
+// (Add panics otherwise).
+func NewBuilder(n int, kind Type) *Builder {
+	return &Builder{n: n, kind: kind}
+}
+
+// Add records entry (i,j) = v. Duplicate entries are summed at Build time.
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic("sparse: Builder.Add index out of range")
+	}
+	if b.kind == Symmetric && i < j {
+		panic("sparse: Builder.Add upper entry into symmetric matrix")
+	}
+	b.rows = append(b.rows, i)
+	b.cols = append(b.cols, j)
+	b.vals = append(b.vals, v)
+}
+
+// AddSym records (i,j) in whichever triangle the matrix stores: for
+// symmetric matrices the entry is mirrored to the lower triangle; for
+// unsymmetric matrices both (i,j) and (j,i) are added (with the same value)
+// unless i==j.
+func (b *Builder) AddSym(i, j int, v float64) {
+	if b.kind == Symmetric {
+		if i < j {
+			i, j = j, i
+		}
+		b.Add(i, j, v)
+		return
+	}
+	b.Add(i, j, v)
+	if i != j {
+		b.Add(j, i, v)
+	}
+}
+
+// NNZ returns the number of recorded (pre-compression) entries.
+func (b *Builder) NNZ() int { return len(b.rows) }
+
+type cooSorter struct{ b *Builder }
+
+func (s cooSorter) Len() int { return len(s.b.rows) }
+func (s cooSorter) Less(i, j int) bool {
+	if s.b.cols[i] != s.b.cols[j] {
+		return s.b.cols[i] < s.b.cols[j]
+	}
+	return s.b.rows[i] < s.b.rows[j]
+}
+func (s cooSorter) Swap(i, j int) {
+	s.b.rows[i], s.b.rows[j] = s.b.rows[j], s.b.rows[i]
+	s.b.cols[i], s.b.cols[j] = s.b.cols[j], s.b.cols[i]
+	s.b.vals[i], s.b.vals[j] = s.b.vals[j], s.b.vals[i]
+}
+
+// Build compresses the recorded entries into a CSC matrix, summing
+// duplicates. The builder can be reused afterwards (entries are kept).
+func (b *Builder) Build() *CSC {
+	sort.Sort(cooSorter{b})
+	a := &CSC{
+		N:      b.n,
+		ColPtr: make([]int, b.n+1),
+		Kind:   b.kind,
+	}
+	// Count unique entries.
+	uniq := 0
+	for k := 0; k < len(b.rows); {
+		k2 := k + 1
+		for k2 < len(b.rows) && b.rows[k2] == b.rows[k] && b.cols[k2] == b.cols[k] {
+			k2++
+		}
+		uniq++
+		k = k2
+	}
+	a.RowIdx = make([]int, 0, uniq)
+	a.Val = make([]float64, 0, uniq)
+	for k := 0; k < len(b.rows); {
+		v := b.vals[k]
+		k2 := k + 1
+		for k2 < len(b.rows) && b.rows[k2] == b.rows[k] && b.cols[k2] == b.cols[k] {
+			v += b.vals[k2]
+			k2++
+		}
+		a.RowIdx = append(a.RowIdx, b.rows[k])
+		a.Val = append(a.Val, v)
+		a.ColPtr[b.cols[k]+1]++
+		k = k2
+	}
+	for j := 0; j < b.n; j++ {
+		a.ColPtr[j+1] += a.ColPtr[j]
+	}
+	return a
+}

@@ -1,0 +1,280 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderSumsDuplicates(t *testing.T) {
+	b := NewBuilder(3, Unsymmetric)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2)
+	b.Add(2, 1, 5)
+	a := b.Build()
+	if a.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", a.NNZ())
+	}
+	if got := a.At(0, 0); got != 3 {
+		t.Errorf("At(0,0) = %v, want 3", got)
+	}
+	if got := a.At(2, 1); got != 5 {
+		t.Errorf("At(2,1) = %v, want 5", got)
+	}
+	if got := a.At(1, 1); got != 0 {
+		t.Errorf("At(1,1) = %v, want 0", got)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	b := NewBuilder(2, Symmetric)
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { b.Add(0, 1, 1) })  // upper entry
+	mustPanic(func() { b.Add(-1, 0, 1) }) // out of range
+	mustPanic(func() { b.Add(0, 2, 1) })  // out of range
+}
+
+func TestAddSym(t *testing.T) {
+	bs := NewBuilder(3, Symmetric)
+	bs.AddSym(0, 2, 7) // mirrored to (2,0)
+	as := bs.Build()
+	if got := as.At(0, 2); got != 7 {
+		t.Errorf("sym At(0,2) = %v, want 7", got)
+	}
+	bu := NewBuilder(3, Unsymmetric)
+	bu.AddSym(0, 2, 7)
+	au := bu.Build()
+	if au.At(0, 2) != 7 || au.At(2, 0) != 7 {
+		t.Errorf("unsym AddSym: got %v,%v want 7,7", au.At(0, 2), au.At(2, 0))
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	a := Grid2D(3, 3)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := a.Clone()
+	bad.RowIdx[0] = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted negative row index")
+	}
+	bad2 := a.Clone()
+	bad2.ColPtr[1], bad2.ColPtr[2] = bad2.ColPtr[2], bad2.ColPtr[1]
+	if err := bad2.Validate(); err == nil {
+		t.Error("Validate accepted decreasing ColPtr")
+	}
+}
+
+func TestSymmetricMulVec(t *testing.T) {
+	a := Grid2D(4, 4)
+	full := ExpandSymmetric(a)
+	x := make([]float64, a.N)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := a.MulVec(x)
+	y2 := full.MulVec(x)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Fatalf("MulVec mismatch at %d: %v vs %v", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	a := Grid3D(3, 3, 3)
+	n := a.N
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(n)
+	p := a.Permute(perm)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Check that P*A*P' at (inv(i),inv(j)) equals A at (i,j).
+	inv := make([]int, n)
+	for k, o := range perm {
+		inv[o] = k
+	}
+	for trial := 0; trial < 200; trial++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if got, want := p.At(inv[i], inv[j]), a.At(i, j); got != want {
+			t.Fatalf("Permute mismatch: P(%d,%d)=%v, A(%d,%d)=%v", inv[i], inv[j], got, i, j, want)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := CircuitUnsym(100, 150, 2, rng)
+	tt := Transpose(Transpose(a))
+	if tt.NNZ() != a.NNZ() {
+		t.Fatalf("NNZ changed: %d vs %d", tt.NNZ(), a.NNZ())
+	}
+	for j := 0; j < a.N; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if tt.RowIdx[p] != a.RowIdx[p] || tt.Val[p] != a.Val[p] {
+				t.Fatalf("transpose(transpose) differs at col %d", j)
+			}
+		}
+	}
+}
+
+func TestTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		a := CircuitUnsym(n, n*2, 1, rng)
+		at := Transpose(a)
+		for trial := 0; trial < 50; trial++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if a.At(i, j) != at.At(j, i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetrizePattern(t *testing.T) {
+	b := NewBuilder(3, Unsymmetric)
+	b.Add(0, 1, 1) // only upper entry
+	b.Add(2, 0, 1) // only lower entry
+	a := b.Build()
+	s := SymmetrizePattern(a)
+	if s.Kind != Symmetric {
+		t.Fatal("not symmetric")
+	}
+	// Pattern must contain (1,0), (2,0) and full diagonal.
+	want := [][2]int{{1, 0}, {2, 0}, {0, 0}, {1, 1}, {2, 2}}
+	for _, w := range want {
+		if s.At(w[0], w[1]) == 0 {
+			t.Errorf("missing entry (%d,%d)", w[0], w[1])
+		}
+	}
+	if s.NNZ() != 5 {
+		t.Errorf("NNZ = %d, want 5", s.NNZ())
+	}
+}
+
+func TestExpandSymmetric(t *testing.T) {
+	a := Grid2D(3, 3)
+	f := ExpandSymmetric(a)
+	if f.Kind != Unsymmetric {
+		t.Fatal("expected unsymmetric")
+	}
+	wantNNZ := 2*a.NNZ() - a.N // diagonal not duplicated
+	if f.NNZ() != wantNNZ {
+		t.Fatalf("NNZ = %d, want %d", f.NNZ(), wantNNZ)
+	}
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if f.At(i, j) != a.At(i, j) {
+				t.Fatalf("value mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestAATSmall(t *testing.T) {
+	// A = [1 1 0; 0 1 0; 0 0 1] -> A*A' has (0,1) coupling via column 1.
+	b := NewBuilder(3, Unsymmetric)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 1)
+	b.Add(1, 1, 1)
+	b.Add(2, 2, 1)
+	a := b.Build()
+	s := AAT(a)
+	if s.At(1, 0) == 0 {
+		t.Error("AAT missing (1,0) coupling")
+	}
+	if s.At(2, 0) != 0 {
+		t.Error("AAT has spurious (2,0)")
+	}
+	for i := 0; i < 3; i++ {
+		if s.At(i, i) == 0 {
+			t.Errorf("AAT missing diagonal %d", i)
+		}
+	}
+}
+
+func TestStructuralSymmetry(t *testing.T) {
+	if got := StructuralSymmetry(Grid2D(3, 3)); got != 1 {
+		t.Errorf("symmetric matrix symmetry = %v, want 1", got)
+	}
+	b := NewBuilder(3, Unsymmetric)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	b.Add(2, 0, 1) // unmatched
+	a := b.Build()
+	got := StructuralSymmetry(a)
+	if math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("symmetry = %v, want 2/3", got)
+	}
+}
+
+func TestGeneratorSizes(t *testing.T) {
+	cases := []struct {
+		name string
+		a    *CSC
+		n    int
+	}{
+		{"Grid2D", Grid2D(5, 7), 35},
+		{"Grid3D", Grid3D(3, 4, 5), 60},
+		{"Band", Band(50, 3), 50},
+		{"Shell", Shell(4, 5, 3), 60},
+	}
+	for _, c := range cases {
+		if c.a.N != c.n {
+			t.Errorf("%s: N = %d, want %d", c.name, c.a.N, c.n)
+		}
+		if err := c.a.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	u := Grid3DUnsym(3, 3, 3, rng)
+	if err := u.Validate(); err != nil {
+		t.Error(err)
+	}
+	if u.Kind != Unsymmetric {
+		t.Error("Grid3DUnsym should be unsymmetric")
+	}
+	if s := StructuralSymmetry(u); s != 1 {
+		t.Errorf("Grid3DUnsym structural symmetry = %v, want 1", s)
+	}
+	c := CircuitUnsym(200, 100, 3, rng)
+	if s := StructuralSymmetry(c); s >= 1 {
+		t.Errorf("CircuitUnsym should be structurally unsymmetric, got %v", s)
+	}
+}
+
+func TestGrid2DIsLaplacian(t *testing.T) {
+	a := Grid2D(3, 3)
+	// Interior row sums of the full matrix are 0 for boundary-free rows;
+	// here with Dirichlet-style stencil all diagonals are 4.
+	for j := 0; j < a.N; j++ {
+		if a.At(j, j) != 4 {
+			t.Fatalf("diagonal %d = %v, want 4", j, a.At(j, j))
+		}
+	}
+	if a.At(1, 0) != -1 {
+		t.Errorf("neighbor coupling = %v, want -1", a.At(1, 0))
+	}
+}

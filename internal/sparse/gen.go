@@ -1,0 +1,285 @@
+package sparse
+
+import "math/rand"
+
+// Synthetic problem generators. These stand in for the Rutherford-Boeing /
+// University of Florida / PARASOL matrices of the paper's Table 1 (see
+// internal/workload for the named suite): the scheduling phenomena studied
+// in the paper depend on the *structural family* of the matrix (grid-like
+// FEM problems, normal equations with dense rows, circuit matrices), which
+// these generators reproduce at laptop scale.
+
+// Grid2D returns the 5-point Laplacian on an nx x ny grid, symmetric
+// positive definite, stored as lower triangle with values.
+func Grid2D(nx, ny int) *CSC {
+	n := nx * ny
+	b := NewBuilder(n, Symmetric)
+	id := func(i, j int) int { return i*ny + j }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			v := id(i, j)
+			b.Add(v, v, 4)
+			if i+1 < nx {
+				b.Add(id(i+1, j), v, -1)
+			}
+			if j+1 < ny {
+				b.Add(id(i, j+1), v, -1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Grid3D returns the 7-point Laplacian on an nx x ny x nz grid, symmetric
+// positive definite, lower triangle with values.
+func Grid3D(nx, ny, nz int) *CSC {
+	n := nx * ny * nz
+	b := NewBuilder(n, Symmetric)
+	id := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				v := id(i, j, k)
+				b.Add(v, v, 6)
+				if i+1 < nx {
+					b.Add(id(i+1, j, k), v, -1)
+				}
+				if j+1 < ny {
+					b.Add(id(i, j+1, k), v, -1)
+				}
+				if k+1 < nz {
+					b.Add(id(i, j, k+1), v, -1)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Grid3DUnsym returns a structurally symmetric but numerically unsymmetric
+// 7-point convection-diffusion operator on a 3D grid (ULTRASOUND3/XENON2
+// style). Diagonally dominant so LU without pivoting is stable.
+func Grid3DUnsym(nx, ny, nz int, rng *rand.Rand) *CSC {
+	n := nx * ny * nz
+	b := NewBuilder(n, Unsymmetric)
+	id := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				v := id(i, j, k)
+				b.Add(v, v, 8+rng.Float64())
+				add := func(u int) {
+					b.Add(u, v, -1+0.5*rng.Float64())
+					b.Add(v, u, -1+0.5*rng.Float64())
+				}
+				if i+1 < nx {
+					add(id(i+1, j, k))
+				}
+				if j+1 < ny {
+					add(id(i, j+1, k))
+				}
+				if k+1 < nz {
+					add(id(i, j, k+1))
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Band returns a symmetric banded matrix with the given half-bandwidth,
+// diagonally dominant.
+func Band(n, hbw int) *CSC {
+	b := NewBuilder(n, Symmetric)
+	for j := 0; j < n; j++ {
+		b.Add(j, j, float64(2*hbw+2))
+		for d := 1; d <= hbw && j+d < n; d++ {
+			b.Add(j+d, j, -1)
+		}
+	}
+	return b.Build()
+}
+
+// RandomSPDPattern returns a random symmetric matrix with ~deg off-diagonal
+// entries per column plus a dominant diagonal; reproducible via rng.
+func RandomSPDPattern(n, deg int, rng *rand.Rand) *CSC {
+	b := NewBuilder(n, Symmetric)
+	for j := 0; j < n; j++ {
+		b.Add(j, j, float64(2*deg+4))
+		for k := 0; k < deg; k++ {
+			i := rng.Intn(n)
+			if i == j {
+				continue
+			}
+			if i < j {
+				b.Add(j, i, -1)
+			} else {
+				b.Add(i, j, -1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomRect returns an m x n pattern-only rectangular matrix embedded in a
+// max(m,n) square CSC (rows beyond m empty) with ~deg entries per column and
+// a few dense rows (LP constraint-matrix style, for GUPTA3-like AAᵀ).
+func RandomRect(m, n, deg, denseRows int, rng *rand.Rand) *CSC {
+	sz := m
+	if n > sz {
+		sz = n
+	}
+	b := NewBuilder(sz, Unsymmetric)
+	for j := 0; j < n; j++ {
+		for k := 0; k < deg; k++ {
+			b.Add(rng.Intn(m), j, 1)
+		}
+	}
+	for r := 0; r < denseRows; r++ {
+		row := rng.Intn(m)
+		for j := 0; j < n; j += 1 + rng.Intn(4) {
+			b.Add(row, j, 1)
+		}
+	}
+	out := b.Build()
+	out.Val = nil
+	return out
+}
+
+// CircuitUnsym returns an unsymmetric circuit-simulation-style matrix
+// (PRE2/TWOTONE family): a sparse backbone chain plus random long-range
+// couplings, some one-directional, and a few high-degree "net" nodes.
+func CircuitUnsym(n, couplings, hubs int, rng *rand.Rand) *CSC {
+	b := NewBuilder(n, Unsymmetric)
+	for j := 0; j < n; j++ {
+		b.Add(j, j, 10+rng.Float64())
+		if j+1 < n {
+			b.Add(j+1, j, -1)
+			b.Add(j, j+1, -0.5)
+		}
+	}
+	for c := 0; c < couplings; c++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		b.Add(i, j, 0.1*rng.NormFloat64())
+		if rng.Float64() < 0.6 { // structurally unsymmetric part
+			b.Add(j, i, 0.1*rng.NormFloat64())
+		}
+	}
+	for h := 0; h < hubs; h++ {
+		hub := rng.Intn(n)
+		fan := 20 + rng.Intn(60)
+		for k := 0; k < fan; k++ {
+			j := rng.Intn(n)
+			if j != hub {
+				b.Add(hub, j, 0.05)
+				b.Add(j, hub, 0.05)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// HarmonicBalance returns an unsymmetric harmonic-balance circuit matrix
+// (the PRE2/TWOTONE family): K frequency-domain copies of a structured
+// base circuit (an nx x ny grid with a few random chords and hub nets),
+// with couplings between adjacent copies on every couple-th node (the
+// nonlinear devices; the linear nodes decouple across frequencies).
+// Sparse inter-copy coupling keeps separators moderate, so the assembly
+// tree has many mid-size fronts below a moderate root — the regime the
+// paper's type-2 scheduling acts on — instead of one monster separator.
+func HarmonicBalance(nx, ny, K, chords, hubs, couple int, rng *rand.Rand) *CSC {
+	n0 := nx * ny
+	n := n0 * K
+	b := NewBuilder(n, Unsymmetric)
+	id := func(k, i, j int) int { return k*n0 + i*ny + j }
+	addEdge := func(u, v int) {
+		b.Add(u, v, -1+0.3*rng.Float64())
+		if rng.Float64() < 0.7 { // structurally unsymmetric part
+			b.Add(v, u, -1+0.3*rng.Float64())
+		}
+	}
+	for k := 0; k < K; k++ {
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				v := id(k, i, j)
+				b.Add(v, v, 12+rng.Float64())
+				if i+1 < nx {
+					addEdge(v, id(k, i+1, j))
+				}
+				if j+1 < ny {
+					addEdge(v, id(k, i, j+1))
+				}
+			}
+		}
+		// A few long chords within the copy.
+		for c := 0; c < chords; c++ {
+			u, v := k*n0+rng.Intn(n0), k*n0+rng.Intn(n0)
+			if u != v {
+				addEdge(u, v)
+			}
+		}
+		// Hub nets (power rails): moderate fan-out.
+		for h := 0; h < hubs; h++ {
+			hub := k*n0 + rng.Intn(n0)
+			fan := 8 + rng.Intn(16)
+			for f := 0; f < fan; f++ {
+				v := k*n0 + rng.Intn(n0)
+				if v != hub {
+					addEdge(hub, v)
+				}
+			}
+		}
+		// Frequency coupling to the next copy on the device nodes.
+		if couple < 1 {
+			couple = 1
+		}
+		if k+1 < K {
+			for i := 0; i < n0; i += couple {
+				addEdge(k*n0+i, (k+1)*n0+i)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Shell returns a layered 2D shell / plate model (MSDOOR-style): an
+// nx x ny grid with `layers` stacked copies coupled vertically and wider
+// in-plane stencils than a plain Laplacian.
+func Shell(nx, ny, layers int) *CSC {
+	n := nx * ny * layers
+	b := NewBuilder(n, Symmetric)
+	id := func(l, i, j int) int { return (l*nx+i)*ny + j }
+	for l := 0; l < layers; l++ {
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				v := id(l, i, j)
+				b.Add(v, v, 16)
+				// 9-point in-plane stencil
+				for di := 0; di <= 1; di++ {
+					for dj := -1; dj <= 1; dj++ {
+						if di == 0 && dj <= 0 {
+							continue
+						}
+						ii, jj := i+di, j+dj
+						if ii < 0 || ii >= nx || jj < 0 || jj >= ny {
+							continue
+						}
+						u := id(l, ii, jj)
+						if u > v {
+							b.Add(u, v, -1)
+						} else {
+							b.Add(v, u, -1)
+						}
+					}
+				}
+				if l+1 < layers {
+					b.Add(id(l+1, i, j), v, -2)
+				}
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,205 @@
+package sparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestRandomSPDPatternShape: the generator produces a valid symmetric
+// lower-triangle matrix with a full diagonal.
+func TestRandomSPDPatternShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := RandomSPDPattern(50, 4, rng)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != Symmetric {
+		t.Fatal("want symmetric")
+	}
+	for j := 0; j < a.N; j++ {
+		if a.At(j, j) == 0 {
+			t.Fatalf("missing diagonal at %d", j)
+		}
+		for _, i := range a.Col(j) {
+			if i < j {
+				t.Fatalf("upper-triangle entry (%d,%d) in symmetric storage", i, j)
+			}
+		}
+	}
+}
+
+// TestRandomRectPatternOnly: RandomRect is pattern-only (Val nil) and fits
+// in the square embedding.
+func TestRandomRectPatternOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := RandomRect(30, 60, 3, 2, rng)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Val != nil {
+		t.Fatal("want pattern-only matrix")
+	}
+	if a.N != 60 {
+		t.Fatalf("square embedding dimension %d, want 60", a.N)
+	}
+	for j := 0; j < a.N; j++ {
+		for _, i := range a.Col(j) {
+			if i >= 30 {
+				t.Fatalf("row %d beyond the rectangular part", i)
+			}
+		}
+	}
+}
+
+// TestHarmonicBalanceCoupling: the couple parameter controls how many
+// inter-copy edges exist — couple=1 couples every node, larger values
+// proportionally fewer; and the matrix is structurally unsymmetric.
+func TestHarmonicBalanceCoupling(t *testing.T) {
+	crossEdges := func(couple int) int {
+		rng := rand.New(rand.NewSource(9))
+		a := HarmonicBalance(6, 6, 3, 0, 0, couple, rng)
+		n0 := 36
+		count := 0
+		for j := 0; j < a.N; j++ {
+			for _, i := range a.Col(j) {
+				if i/n0 != j/n0 {
+					count++
+				}
+			}
+		}
+		return count
+	}
+	full, quarter := crossEdges(1), crossEdges(4)
+	if full == 0 || quarter == 0 {
+		t.Fatal("no inter-copy coupling at all")
+	}
+	if quarter*3 > full {
+		t.Errorf("couple=4 should give ~1/4 the coupling: full=%d quarter=%d", full, quarter)
+	}
+	// couple < 1 is clamped to 1.
+	if got := crossEdges(0); got != full {
+		t.Errorf("couple=0 should behave like couple=1: %d vs %d", got, full)
+	}
+}
+
+// TestSubmatrixProperty: every entry of the principal submatrix matches
+// the original, and nothing outside k x k leaks in.
+func TestSubmatrixProperty(t *testing.T) {
+	prop := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandomSPDPattern(40, 3, rng)
+		k := 1 + int(kRaw)%50 // may exceed N; Submatrix clamps
+		s := Submatrix(a, k)
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		want := k
+		if want > a.N {
+			want = a.N
+		}
+		if s.N != want {
+			return false
+		}
+		for j := 0; j < s.N; j++ {
+			for _, i := range s.Col(j) {
+				if i >= s.N {
+					return false
+				}
+				if a.At(i, j) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(10))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiagonalAndColVal: accessors agree with At.
+func TestDiagonalAndColVal(t *testing.T) {
+	a := Grid2D(4, 4)
+	d := a.Diagonal()
+	for j := 0; j < a.N; j++ {
+		if d[j] != 4 {
+			t.Fatalf("diag[%d] = %v, want 4 (5-point Laplacian)", j, d[j])
+		}
+		rows, vals := a.Col(j), a.ColVal(j)
+		if len(rows) != len(vals) {
+			t.Fatal("Col/ColVal length mismatch")
+		}
+		for k, i := range rows {
+			if a.At(i, j) != vals[k] {
+				t.Fatalf("At(%d,%d) != ColVal", i, j)
+			}
+		}
+	}
+	// Pattern-only matrices have no values.
+	p := a.Clone()
+	p.Val = nil
+	if p.ColVal(0) != nil {
+		t.Fatal("pattern-only ColVal should be nil")
+	}
+}
+
+// TestTypeStrings covers the Type formatting used in every table.
+func TestTypeStrings(t *testing.T) {
+	if Symmetric.String() != "SYM" || Unsymmetric.String() != "UNS" {
+		t.Fatal("Type strings")
+	}
+	if s := Grid2D(2, 2).Kind.String(); !strings.Contains(s, "SYM") {
+		t.Errorf("grid kind = %q", s)
+	}
+}
+
+// TestBuilderNNZCountsPreCompression: Builder.NNZ counts recorded entries
+// before duplicate summing.
+func TestBuilderNNZCountsPreCompression(t *testing.T) {
+	b := NewBuilder(3, Unsymmetric)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2) // duplicate
+	b.Add(2, 1, 3)
+	if b.NNZ() != 3 {
+		t.Fatalf("builder NNZ %d, want 3 (pre-compression)", b.NNZ())
+	}
+	a := b.Build()
+	if a.NNZ() != 2 {
+		t.Fatalf("matrix NNZ %d, want 2 (duplicates summed)", a.NNZ())
+	}
+	if a.At(0, 0) != 3 {
+		t.Fatalf("duplicate sum = %v, want 3", a.At(0, 0))
+	}
+}
+
+// TestValidateCatchesBrokenMatrices: failure injection on every Validate
+// branch.
+func TestValidateCatchesBrokenMatrices(t *testing.T) {
+	mk := func() *CSC { return Grid2D(3, 3) }
+	cases := []struct {
+		name   string
+		break_ func(a *CSC)
+	}{
+		{"negative n", func(a *CSC) { a.N = -1 }},
+		{"colptr length", func(a *CSC) { a.ColPtr = a.ColPtr[:len(a.ColPtr)-1] }},
+		{"colptr start", func(a *CSC) { a.ColPtr[0] = 1 }},
+		{"colptr end", func(a *CSC) { a.ColPtr[a.N] = len(a.RowIdx) + 5 }},
+		{"val length", func(a *CSC) { a.Val = a.Val[:len(a.Val)-1] }},
+		{"row out of range", func(a *CSC) { a.RowIdx[0] = a.N + 3 }},
+		{"decreasing colptr", func(a *CSC) { a.ColPtr[1] = a.ColPtr[2] + 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := mk()
+			tc.break_(a)
+			if err := a.Validate(); err == nil {
+				t.Error("corruption not detected")
+			}
+		})
+	}
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("pristine matrix rejected: %v", err)
+	}
+}

@@ -1,0 +1,265 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadMatrixMarket parses a MatrixMarket "coordinate" stream (real/pattern,
+// general/symmetric) into a CSC matrix. Rectangular inputs are embedded in a
+// square matrix of size max(rows, cols). Indices in the file are 1-based.
+func ReadMatrixMarket(r io.Reader) (*CSC, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: bad MatrixMarket header %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: only coordinate format supported, got %q", header[2])
+	}
+	field, sym := header[3], header[4]
+	if field != "real" && field != "pattern" && field != "integer" {
+		return nil, fmt.Errorf("sparse: unsupported field %q", field)
+	}
+	symmetric := false
+	switch sym {
+	case "general":
+	case "symmetric":
+		symmetric = true
+	default:
+		return nil, fmt.Errorf("sparse: unsupported symmetry %q", sym)
+	}
+	// Skip comments, read size line.
+	var m, n, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &m, &n, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	if m <= 0 || n <= 0 {
+		return nil, fmt.Errorf("sparse: bad dimensions %dx%d", m, n)
+	}
+	sz := m
+	if n > sz {
+		sz = n
+	}
+	kind := Unsymmetric
+	if symmetric {
+		kind = Symmetric
+	}
+	b := NewBuilder(sz, kind)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("sparse: bad entry line %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad row index %q", fields[0])
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad col index %q", fields[1])
+		}
+		v := 1.0
+		if field != "pattern" {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("sparse: missing value in %q", line)
+			}
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad value %q", fields[2])
+			}
+		}
+		i, j = i-1, j-1
+		if i < 0 || i >= sz || j < 0 || j >= sz {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range", i+1, j+1)
+		}
+		if symmetric && i < j {
+			i, j = j, i
+		}
+		b.Add(i, j, v)
+		read++
+	}
+	if read < nnz {
+		return nil, fmt.Errorf("sparse: expected %d entries, got %d", nnz, read)
+	}
+	out := b.Build()
+	if field == "pattern" {
+		out.Val = nil
+	}
+	return out, nil
+}
+
+// WriteMatrixMarket writes the matrix in MatrixMarket coordinate format.
+func WriteMatrixMarket(w io.Writer, a *CSC) error {
+	bw := bufio.NewWriter(w)
+	sym := "general"
+	if a.Kind == Symmetric {
+		sym = "symmetric"
+	}
+	field := "real"
+	if a.Val == nil {
+		field = "pattern"
+	}
+	fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate %s %s\n", field, sym)
+	fmt.Fprintf(bw, "%d %d %d\n", a.N, a.N, a.NNZ())
+	for j := 0; j < a.N; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if a.Val == nil {
+				fmt.Fprintf(bw, "%d %d\n", a.RowIdx[p]+1, j+1)
+			} else {
+				fmt.Fprintf(bw, "%d %d %.17g\n", a.RowIdx[p]+1, j+1, a.Val[p])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRutherfordBoeing parses the assembled (RSA/RUA/PSA/PUA) subset of the
+// Rutherford-Boeing / Harwell-Boeing format: a 4-5 line header followed by
+// column pointers, row indices and optionally values, all 1-based.
+func ReadRutherfordBoeing(r io.Reader) (*CSC, error) {
+	br := bufio.NewReader(r)
+	readLine := func() (string, error) {
+		s, err := br.ReadString('\n')
+		if err != nil && s == "" {
+			return "", err
+		}
+		return strings.TrimRight(s, "\r\n"), nil
+	}
+	// Line 1: title/key. Line 2: counts. Line 3: type + dims. Line 4: formats.
+	if _, err := readLine(); err != nil {
+		return nil, fmt.Errorf("sparse: RB header: %v", err)
+	}
+	l2, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("sparse: RB counts line: %v", err)
+	}
+	c2 := strings.Fields(l2)
+	if len(c2) < 4 {
+		return nil, fmt.Errorf("sparse: RB counts line too short: %q", l2)
+	}
+	rhscrd := 0
+	if len(c2) >= 5 {
+		rhscrd, _ = strconv.Atoi(c2[4])
+	}
+	l3, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("sparse: RB type line: %v", err)
+	}
+	c3 := strings.Fields(l3)
+	if len(c3) < 4 {
+		return nil, fmt.Errorf("sparse: RB type line too short: %q", l3)
+	}
+	mtype := strings.ToLower(c3[0])
+	if len(mtype) != 3 {
+		return nil, fmt.Errorf("sparse: bad RB matrix type %q", mtype)
+	}
+	if mtype[2] != 'a' {
+		return nil, fmt.Errorf("sparse: only assembled RB matrices supported, got %q", mtype)
+	}
+	nrow, err := strconv.Atoi(c3[1])
+	if err != nil {
+		return nil, fmt.Errorf("sparse: bad RB nrow: %v", err)
+	}
+	ncol, err := strconv.Atoi(c3[2])
+	if err != nil {
+		return nil, fmt.Errorf("sparse: bad RB ncol: %v", err)
+	}
+	nnz, err := strconv.Atoi(c3[3])
+	if err != nil {
+		return nil, fmt.Errorf("sparse: bad RB nnz: %v", err)
+	}
+	if _, err := readLine(); err != nil { // formats line
+		return nil, fmt.Errorf("sparse: RB format line: %v", err)
+	}
+	if rhscrd > 0 {
+		if _, err := readLine(); err != nil {
+			return nil, fmt.Errorf("sparse: RB rhs line: %v", err)
+		}
+	}
+	pattern := mtype[0] == 'p'
+	symmetric := mtype[1] == 's'
+
+	ints := make([]int, 0, ncol+1+nnz)
+	need := ncol + 1 + nnz
+	var vals []float64
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() && (len(ints) < need || (!pattern && len(vals) < nnz)) {
+		for _, f := range strings.Fields(sc.Text()) {
+			if len(ints) < need {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("sparse: bad RB integer %q", f)
+				}
+				ints = append(ints, v)
+			} else if !pattern {
+				// Fortran exponents may use D instead of E.
+				f = strings.ReplaceAll(strings.ReplaceAll(f, "D", "E"), "d", "e")
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("sparse: bad RB value %q", f)
+				}
+				vals = append(vals, v)
+			}
+		}
+	}
+	if len(ints) < need {
+		return nil, fmt.Errorf("sparse: RB truncated: got %d integers, want %d", len(ints), need)
+	}
+	sz := nrow
+	if ncol > sz {
+		sz = ncol
+	}
+	kind := Unsymmetric
+	if symmetric {
+		kind = Symmetric
+	}
+	b := NewBuilder(sz, kind)
+	colptr := ints[:ncol+1]
+	rows := ints[ncol+1:]
+	for j := 0; j < ncol; j++ {
+		for p := colptr[j] - 1; p < colptr[j+1]-1; p++ {
+			i := rows[p] - 1
+			if i < 0 || i >= sz {
+				return nil, fmt.Errorf("sparse: RB row index %d out of range", i+1)
+			}
+			v := 1.0
+			if !pattern {
+				if p >= len(vals) {
+					return nil, fmt.Errorf("sparse: RB missing values")
+				}
+				v = vals[p]
+			}
+			r, c := i, j
+			if symmetric && r < c {
+				r, c = c, r
+			}
+			b.Add(r, c, v)
+		}
+	}
+	out := b.Build()
+	if pattern {
+		out.Val = nil
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	a := Grid2D(4, 4)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != a.N || b.NNZ() != a.NNZ() || b.Kind != a.Kind {
+		t.Fatalf("round trip changed shape: %d/%d/%v vs %d/%d/%v",
+			b.N, b.NNZ(), b.Kind, a.N, a.NNZ(), a.Kind)
+	}
+	for j := 0; j < a.N; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if b.RowIdx[p] != a.RowIdx[p] || b.Val[p] != a.Val[p] {
+				t.Fatalf("round trip changed column %d", j)
+			}
+		}
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+% a comment
+3 3 4
+1 1
+2 1
+3 2
+3 3
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HasValues() {
+		t.Error("pattern matrix should have no values")
+	}
+	if a.NNZ() != 4 {
+		t.Errorf("NNZ = %d, want 4", a.NNZ())
+	}
+	if a.At(1, 0) != 1 {
+		t.Error("missing (2,1) entry")
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+2 2 3
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != Symmetric {
+		t.Fatal("expected symmetric")
+	}
+	if a.At(0, 1) != -1 {
+		t.Errorf("At(0,1) = %v, want -1 (mirrored)", a.At(0, 1))
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage\n1 1 0\n",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n", // truncated
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRutherfordBoeing(t *testing.T) {
+	// Minimal assembled real unsymmetric 3x3 with 4 entries:
+	// columns: c0={r0,r2}, c1={r1}, c2={r2}
+	in := `Title                                                                  key
+             3             1             1             1
+rua                        3             3             4             0
+(4I10)          (4I10)          (4E20.12)
+         1         3         4         5
+         1         3         2         3
+  1.0 2.0
+  3.0 4.0
+`
+	a, err := ReadRutherfordBoeing(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 3 || a.NNZ() != 4 {
+		t.Fatalf("shape %d/%d, want 3/4", a.N, a.NNZ())
+	}
+	if a.At(0, 0) != 1 || a.At(2, 0) != 2 || a.At(1, 1) != 3 || a.At(2, 2) != 4 {
+		t.Errorf("values wrong: %v %v %v %v", a.At(0, 0), a.At(2, 0), a.At(1, 1), a.At(2, 2))
+	}
+}
+
+func TestRutherfordBoeingSymmetricPattern(t *testing.T) {
+	in := `T                                                                      k
+             2             1             1             0
+psa                        2             2             3             0
+(4I10)          (4I10)
+1 3 4
+1 2 2
+`
+	a, err := ReadRutherfordBoeing(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != Symmetric || a.HasValues() {
+		t.Fatalf("want symmetric pattern, got %v values=%v", a.Kind, a.HasValues())
+	}
+	if a.At(1, 0) == 0 {
+		t.Error("missing (1,0)")
+	}
+}
+
+func TestRutherfordBoeingErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"t\n1 1 1 1\nxxe 2 2 2 0\nfmt\n1 2\n1\n", // elemental type 'e'
+		"t\n1 1 1 1\nrua 2 2 2 0\nfmt\n1 2 3\n1\n", // truncated ints
+	}
+	for i, in := range cases {
+		if _, err := ReadRutherfordBoeing(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

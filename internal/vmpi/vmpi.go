@@ -1,0 +1,97 @@
+// Package vmpi is a virtual message-passing layer over the discrete-event
+// engine: point-to-point messages with a latency + size/bandwidth cost
+// model and per-channel FIFO ordering, plus broadcast. It stands in for
+// MPI in the parallel factorization simulator; the nonzero latency is what
+// reproduces the stale-memory-view hazard of the paper's Figure 5.
+package vmpi
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Handler receives messages delivered to a rank.
+type Handler func(from int, payload any)
+
+// Config sets the communication cost model.
+type Config struct {
+	Latency   des.Time // per-message latency
+	BytesPerE int64    // bytes per matrix entry (8 for float64)
+	Bandwidth int64    // bytes per second; 0 = infinite
+}
+
+// DefaultConfig models a early-2000s cluster interconnect: ~20us latency,
+// ~200 MB/s bandwidth.
+func DefaultConfig() Config {
+	return Config{Latency: 20_000, BytesPerE: 8, Bandwidth: 200e6}
+}
+
+// World is a set of P simulated processes exchanging messages.
+type World struct {
+	P        int
+	eng      *des.Engine
+	cfg      Config
+	handlers []Handler
+	lastDel  [][]des.Time // per src,dst: last delivery time (FIFO channels)
+
+	Messages int64 // total messages sent
+	Bytes    int64 // total bytes sent
+}
+
+// New creates a world of p processes on the engine.
+func New(eng *des.Engine, p int, cfg Config) *World {
+	w := &World{P: p, eng: eng, cfg: cfg, handlers: make([]Handler, p)}
+	w.lastDel = make([][]des.Time, p)
+	for i := range w.lastDel {
+		w.lastDel[i] = make([]des.Time, p)
+	}
+	return w
+}
+
+// Register sets the message handler for a rank.
+func (w *World) Register(rank int, h Handler) {
+	w.handlers[rank] = h
+}
+
+// Engine returns the underlying DES engine.
+func (w *World) Engine() *des.Engine { return w.eng }
+
+// Send delivers payload from src to dst after the modeled delay.
+// sizeEntries is the logical message size in matrix entries (0 for control
+// messages). Messages on the same (src,dst) channel are delivered in order.
+func (w *World) Send(src, dst int, sizeEntries int64, payload any) {
+	if src < 0 || src >= w.P || dst < 0 || dst >= w.P {
+		panic(fmt.Sprintf("vmpi: bad ranks %d->%d", src, dst))
+	}
+	if w.handlers[dst] == nil {
+		panic(fmt.Sprintf("vmpi: no handler registered for rank %d", dst))
+	}
+	bytes := sizeEntries * w.cfg.BytesPerE
+	delay := w.cfg.Latency
+	if w.cfg.Bandwidth > 0 && bytes > 0 {
+		delay += des.Time(bytes * 1e9 / w.cfg.Bandwidth)
+	}
+	w.Messages++
+	w.Bytes += bytes
+	if src == dst {
+		// Local notification: deliver after a tick, no network cost.
+		w.eng.After(0, func() { w.handlers[dst](src, payload) })
+		return
+	}
+	at := w.eng.Now() + delay
+	if last := w.lastDel[src][dst]; at <= last {
+		at = last + 1
+	}
+	w.lastDel[src][dst] = at
+	w.eng.At(at, func() { w.handlers[dst](src, payload) })
+}
+
+// Broadcast sends payload from src to every other rank.
+func (w *World) Broadcast(src int, sizeEntries int64, payload any) {
+	for dst := 0; dst < w.P; dst++ {
+		if dst != src {
+			w.Send(src, dst, sizeEntries, payload)
+		}
+	}
+}
