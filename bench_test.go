@@ -15,6 +15,7 @@ package repro
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/assembly"
 	"repro/internal/core"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/order"
+	"repro/internal/parmf"
 	"repro/internal/parsim"
 	"repro/internal/sched"
 	"repro/internal/sparse"
@@ -500,5 +502,48 @@ func BenchmarkSequentialFactorization(b *testing.B) {
 		if _, err := an.Factorize(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelSpeedup measures the real shared-memory parallel
+// executor (internal/parmf) against the sequential one on the largest
+// symmetric problem at reproduction scale, reporting wall-clock speedup and
+// the max per-worker memory peak. The speedup is hardware-dependent: ~1x on
+// a single-core machine, >1.5x at 8 workers on multicore (the executor's
+// scheduling overhead on one core is ~10%).
+func BenchmarkParallelSpeedup(b *testing.B) {
+	p, err := workload.ByName(workload.Suite(), "BMWCRA_1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	an, err := core.Analyze(p.Matrix(), core.DefaultConfig(order.ND, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Sequential baseline, amortized over enough repetitions to be stable.
+	t0 := time.Now()
+	reps := 0
+	for time.Since(t0) < 500*time.Millisecond {
+		if _, err := an.Factorize(); err != nil {
+			b.Fatal(err)
+		}
+		reps++
+	}
+	seqPerOp := time.Since(t0) / time.Duration(reps)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var peak int64
+			for b.Loop() {
+				f, err := an.FactorizeParallel(parmf.DefaultConfig(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = f.Stats.PeakStack
+			}
+			perOp := b.Elapsed() / time.Duration(b.N)
+			b.ReportMetric(float64(seqPerOp)/float64(perOp), "speedup_x")
+			b.ReportMetric(float64(peak), "peak_entries")
+		})
 	}
 }

@@ -1,13 +1,14 @@
 // Package core is the public facade of the solver: it wires the analysis
 // pipeline (ordering → elimination tree → assembly tree → optional node
-// splitting → static mapping), the sequential numeric factorization, and
-// the parallel factorization simulator with the paper's scheduling
-// strategies behind a small API.
+// splitting → static mapping), the sequential and shared-memory parallel
+// numeric factorizations, and the parallel factorization simulator with
+// the paper's scheduling strategies behind a small API.
 //
 // Typical use:
 //
 //	an, err := core.Analyze(a, core.DefaultConfig(order.ND, 32))
 //	f, err := an.Factorize()          // numeric LU/Cholesky + Solve
+//	pf, err := an.FactorizeParallel(parmf.DefaultConfig(8))
 //	res, err := an.Simulate(parsim.MemoryBased())
 package core
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/assembly"
 	"repro/internal/etree"
 	"repro/internal/order"
+	"repro/internal/parmf"
 	"repro/internal/parsim"
 	"repro/internal/seqmf"
 	"repro/internal/sparse"
@@ -143,6 +145,20 @@ func (an *Analysis) WithSplit(threshold int64, minPiv int) (*Analysis, error) {
 // The matrix must carry values.
 func (an *Analysis) Factorize() (*seqmf.Factors, error) {
 	return seqmf.Factorize(an.Permuted, an.Tree, seqmf.DefaultOptions())
+}
+
+// FactorizeParallel runs the shared-memory parallel numeric factorization
+// with cfg.Workers goroutines (cfg.Workers < 1 uses the analysis processor
+// count). Unless overridden, the static mapping's leaf subtrees become the
+// single-worker subtree tasks of the paper's layer L0.
+func (an *Analysis) FactorizeParallel(cfg parmf.Config) (*parmf.Factors, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = an.Config.Procs
+	}
+	if cfg.SubtreeRoots == nil && an.Mapping != nil {
+		cfg.SubtreeRoots = an.Mapping.SubRoot
+	}
+	return parmf.Factorize(an.Permuted, an.Tree, cfg)
 }
 
 // Simulate runs the parallel factorization simulator under the given

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/assembly"
 	"repro/internal/order"
+	"repro/internal/parmf"
 	"repro/internal/parsim"
 	"repro/internal/sparse"
 )
@@ -152,5 +153,39 @@ func TestSimulateTraced(t *testing.T) {
 	}
 	if len(res.Traces) != 2 {
 		t.Errorf("%d traces", len(res.Traces))
+	}
+}
+
+func TestFactorizeParallelMatchesSequential(t *testing.T) {
+	a := sparse.Grid3D(8, 8, 8)
+	an, err := Analyze(a, DefaultConfig(order.ND, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := an.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := an.FactorizeParallel(parmf.DefaultConfig(0)) // 0 → Procs
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Stats.Workers != 4 {
+		t.Errorf("workers %d, want analysis procs 4", pf.Stats.Workers)
+	}
+	// Subtree tasks come from the mapping, so fewer tasks than fronts.
+	if pf.Stats.Tasks >= pf.Stats.Fronts {
+		t.Errorf("tasks %d not batched below fronts %d", pf.Stats.Tasks, pf.Stats.Fronts)
+	}
+	if pf.Stats.FactorEntries != sf.Stats.FactorEntries {
+		t.Errorf("factor entries %d vs %d", pf.Stats.FactorEntries, sf.Stats.FactorEntries)
+	}
+	for ni := 0; ni < an.Tree.Len(); ni++ {
+		sn, pn := sf.Front().Node(ni), pf.Front().Node(ni)
+		for p, v := range sn.L.A {
+			if v != pn.L.A[p] {
+				t.Fatalf("node %d: L entry %d differs: %g vs %g", ni, p, v, pn.L.A[p])
+			}
+		}
 	}
 }

@@ -1,0 +1,132 @@
+package front
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/assembly"
+	"repro/internal/dense"
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+// walk factors the whole tree with the package primitives (the minimal
+// sequential executor) and returns the completed Factors.
+func walk(t *testing.T, pa *sparse.CSC, tree *assembly.Tree) *Factors {
+	t.Helper()
+	sh, err := NewShared(pa, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := NewAssembler(sh)
+	fs := NewFactors(tree, pa.Kind)
+	cbs := make([]*dense.Matrix, tree.Len())
+	for _, ni := range tree.Postorder() {
+		nd := &tree.Nodes[ni]
+		rows := asm.Begin(ni)
+		fr := dense.New(nd.NFront(), nd.NFront())
+		if err := asm.Scatter(ni, fr); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range nd.Children {
+			if _, err := asm.ExtendAdd(ni, fr, c, cbs[c]); err != nil {
+				t.Fatal(err)
+			}
+			cbs[c] = nil
+		}
+		if err := Eliminate(fr, nd.NPiv(), pa.Kind, 1e-12); err != nil {
+			t.Fatal(err)
+		}
+		fs.SetNode(ni, ExtractFactor(fr, rows, nd.NPiv(), pa.Kind))
+		cbs[ni] = ExtractCB(fr, nd.NPiv(), nd.NCB(), pa.Kind)
+	}
+	return fs
+}
+
+func solveCheck(t *testing.T, a *sparse.CSC, m order.Method) {
+	t.Helper()
+	tree, pa := assembly.Analyze(a, assembly.DefaultOptions(m))
+	assembly.SortChildrenLiu(tree)
+	fs := walk(t, pa, tree)
+	x0 := make([]float64, a.N)
+	for i := range x0 {
+		x0[i] = float64(i%5) - 2
+	}
+	b := a.MulVec(x0)
+	x, err := fs.SolveOriginal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-x0[i]) > 1e-7*(1+math.Abs(x0[i])) {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], x0[i])
+		}
+	}
+}
+
+func TestWalkSymmetric(t *testing.T) { solveCheck(t, sparse.Grid2D(9, 9), order.AMD) }
+
+func TestWalkUnsymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	solveCheck(t, sparse.Grid3DUnsym(4, 4, 4, rng), order.ND)
+}
+
+func TestNewSharedErrors(t *testing.T) {
+	a := sparse.Grid2D(4, 4)
+	tree, pa := assembly.Analyze(a, assembly.DefaultOptions(order.AMD))
+	pat := pa.Clone()
+	pat.Val = nil
+	if _, err := NewShared(pat, tree); err == nil {
+		t.Error("pattern-only matrix accepted")
+	}
+	small, _ := assembly.Analyze(sparse.Grid2D(2, 2), assembly.DefaultOptions(order.AMD))
+	if _, err := NewShared(pa, small); err == nil {
+		t.Error("mismatched tree accepted")
+	}
+}
+
+// TestExtractFullFront checks that a front with npiv == n reproduces the
+// plain dense factorization (L, and U for LU).
+func TestExtractFullFront(t *testing.T) {
+	n := 5
+	f := dense.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := 1.0 / float64(1+i+j)
+			if i == j {
+				v += float64(n)
+			}
+			f.Set(i, j, v)
+		}
+	}
+	orig := dense.New(n, n)
+	copy(orig.A, f.A)
+	if err := Eliminate(f, n, sparse.Unsymmetric, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	rows := []int{0, 1, 2, 3, 4}
+	nf := ExtractFactor(f, rows, n, sparse.Unsymmetric)
+	if nf.U == nil {
+		t.Fatal("LU extraction lost U")
+	}
+	// Recompose L*U (unit diagonal L) and compare with the original.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k <= i && k <= j; k++ {
+				l := nf.L.At(i, k)
+				if k == i {
+					l = 1
+				}
+				s += l * nf.U.At(k, j)
+			}
+			if math.Abs(s-orig.At(i, j)) > 1e-12 {
+				t.Fatalf("LU(%d,%d) = %g, want %g", i, j, s, orig.At(i, j))
+			}
+		}
+	}
+	if ExtractCB(f, n, 0, sparse.Unsymmetric) != nil {
+		t.Error("empty CB not nil")
+	}
+}

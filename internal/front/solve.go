@@ -1,0 +1,136 @@
+package front
+
+import (
+	"fmt"
+
+	"repro/internal/assembly"
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// NodeFactor holds the factor pieces of one front.
+type NodeFactor struct {
+	Rows []int // global front indices: pivot columns then CB rows
+	NPiv int
+	L    *dense.Matrix // f x npiv lower trapezoid (diag: Cholesky=L(k,k), LU=1 implicit)
+	U    *dense.Matrix // npiv x f upper trapezoid (LU only, holds U diag)
+}
+
+// Factors is the completed numeric factorization: per-node factor pieces
+// plus the postorder the solves walk. Both executors produce one.
+type Factors struct {
+	Tree *assembly.Tree
+	Kind sparse.Type
+	N    int
+
+	nodes []NodeFactor
+	post  []int
+}
+
+// NewFactors allocates an empty factor container for the tree. SetNode may
+// then be called concurrently for distinct nodes.
+func NewFactors(tree *assembly.Tree, kind sparse.Type) *Factors {
+	return &Factors{
+		Tree:  tree,
+		Kind:  kind,
+		N:     tree.N,
+		nodes: make([]NodeFactor, tree.Len()),
+		post:  tree.Postorder(),
+	}
+}
+
+// SetNode stores the factor pieces of node ni. Distinct nodes may be set
+// from different goroutines without synchronization.
+func (f *Factors) SetNode(ni int, nf NodeFactor) { f.nodes[ni] = nf }
+
+// Node returns the factor pieces of node ni.
+func (f *Factors) Node(ni int) *NodeFactor { return &f.nodes[ni] }
+
+// Solve solves A x = b for the permuted system (b and the result are in the
+// permuted index space; see SolveOriginal for the original ordering).
+// b is not modified.
+func (f *Factors) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.N {
+		return nil, fmt.Errorf("front: rhs length %d, want %d", len(b), f.N)
+	}
+	x := append([]float64(nil), b...)
+	// Forward: y = L^{-1} b, walking fronts in postorder.
+	for _, ni := range f.post {
+		nf := &f.nodes[ni]
+		xl := gather(x, nf.Rows)
+		for k := 0; k < nf.NPiv; k++ {
+			if f.Kind == sparse.Symmetric {
+				xl[k] /= nf.L.At(k, k)
+			}
+			v := xl[k]
+			if v == 0 {
+				continue
+			}
+			for i := k + 1; i < len(nf.Rows); i++ {
+				xl[i] -= nf.L.At(i, k) * v
+			}
+		}
+		scatter(x, nf.Rows, xl)
+	}
+	// Backward: x = U^{-1} y (or L^{-T} y), reverse postorder.
+	for p := len(f.post) - 1; p >= 0; p-- {
+		nf := &f.nodes[f.post[p]]
+		xl := gather(x, nf.Rows)
+		for k := nf.NPiv - 1; k >= 0; k-- {
+			s := xl[k]
+			if f.Kind == sparse.Symmetric {
+				// Row k of L^T = column k of L.
+				for i := k + 1; i < len(nf.Rows); i++ {
+					s -= nf.L.At(i, k) * xl[i]
+				}
+				xl[k] = s / nf.L.At(k, k)
+			} else {
+				for j := k + 1; j < len(nf.Rows); j++ {
+					s -= nf.U.At(k, j) * xl[j]
+				}
+				xl[k] = s / nf.U.At(k, k)
+			}
+		}
+		scatter(x, nf.Rows, xl)
+	}
+	return x, nil
+}
+
+// SolveOriginal solves for a right-hand side given in the *original*
+// (pre-permutation) ordering, returning x in the original ordering.
+func (f *Factors) SolveOriginal(b []float64) ([]float64, error) {
+	if len(b) != f.N {
+		return nil, fmt.Errorf("front: rhs length %d, want %d", len(b), f.N)
+	}
+	perm := f.Tree.Perm
+	if perm == nil {
+		return f.Solve(b)
+	}
+	pb := make([]float64, len(b))
+	for newI, oldI := range perm {
+		pb[newI] = b[oldI]
+	}
+	px, err := f.Solve(pb)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	for newI, oldI := range perm {
+		x[oldI] = px[newI]
+	}
+	return x, nil
+}
+
+func gather(x []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for k, g := range idx {
+		out[k] = x[g]
+	}
+	return out
+}
+
+func scatter(x []float64, idx []int, v []float64) {
+	for k, g := range idx {
+		x[g] = v[k]
+	}
+}

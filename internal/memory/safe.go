@@ -1,0 +1,93 @@
+package memory
+
+import "sync"
+
+// SafeTracker is a mutex-guarded variant of Tracker for real shared-memory
+// executors (internal/parmf), where the "processors" are worker goroutines
+// running in wall-clock time rather than simulated des.Time. A worker may
+// pop a contribution block from *another* worker's stack (when it assembles
+// a front whose children were factored elsewhere), so every mutation and
+// read is serialized. Quantities remain model entries, exactly as in
+// Tracker, so parallel measurements stay comparable with the simulator's.
+type SafeTracker struct {
+	mu sync.Mutex
+	t  *Tracker
+}
+
+// NewSafeTracker returns a concurrency-safe tracker for p workers.
+func NewSafeTracker(p int) *SafeTracker {
+	return &SafeTracker{t: NewTracker(nil, p)}
+}
+
+// PushCB stacks a contribution block of the given size on worker p.
+func (s *SafeTracker) PushCB(p int, entries int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t.PushCB(p, entries)
+}
+
+// PopCB removes a contribution block from worker p's stack (callable from
+// any worker).
+func (s *SafeTracker) PopCB(p int, entries int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t.PopCB(p, entries)
+}
+
+// AllocFront allocates an active front on worker p.
+func (s *SafeTracker) AllocFront(p int, entries int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t.AllocFront(p, entries)
+}
+
+// FreeFront releases an active front on worker p.
+func (s *SafeTracker) FreeFront(p int, entries int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t.FreeFront(p, entries)
+}
+
+// AddFactors accounts factor entries produced on worker p.
+func (s *SafeTracker) AddFactors(p int, entries int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t.AddFactors(p, entries)
+}
+
+// Stack returns worker p's current CB-stack size.
+func (s *SafeTracker) Stack(p int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Procs[p].Stack
+}
+
+// ActivePeak returns worker p's active-memory peak (stack + fronts).
+func (s *SafeTracker) ActivePeak(p int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Procs[p].ActivePeak
+}
+
+// StackPeak returns worker p's CB-stack-only peak.
+func (s *SafeTracker) StackPeak(p int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Procs[p].StackPeak
+}
+
+// MaxActivePeak returns the maximum active peak over workers.
+func (s *SafeTracker) MaxActivePeak() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.MaxActivePeak()
+}
+
+// Snapshot returns a copy of the per-worker accounting.
+func (s *SafeTracker) Snapshot() []Proc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Proc, len(s.t.Procs))
+	copy(out, s.t.Procs)
+	return out
+}

@@ -1,0 +1,71 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSafeTrackerMirrorsTracker(t *testing.T) {
+	s := NewSafeTracker(2)
+	s.AllocFront(0, 100)
+	s.PushCB(0, 40)
+	s.FreeFront(0, 100)
+	s.AllocFront(1, 30)
+	s.PopCB(0, 40) // consumed by worker 1's assembly
+	s.AddFactors(1, 25)
+	if got := s.ActivePeak(0); got != 140 {
+		t.Errorf("worker 0 active peak %d, want 140", got)
+	}
+	if got := s.StackPeak(0); got != 40 {
+		t.Errorf("worker 0 stack peak %d, want 40", got)
+	}
+	if got := s.Stack(0); got != 0 {
+		t.Errorf("worker 0 stack %d, want 0", got)
+	}
+	if got := s.MaxActivePeak(); got != 140 {
+		t.Errorf("max active peak %d, want 140", got)
+	}
+	procs := s.Snapshot()
+	if procs[1].Factors != 25 || procs[1].Fronts != 30 {
+		t.Errorf("worker 1 snapshot %+v", procs[1])
+	}
+}
+
+// TestSafeTrackerConcurrent hammers the tracker from several goroutines,
+// including cross-worker pops; meaningful under -race, and the totals must
+// balance out.
+func TestSafeTrackerConcurrent(t *testing.T) {
+	const workers = 4
+	const rounds = 1000
+	s := NewSafeTracker(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			peer := (id + 1) % workers
+			for i := 0; i < rounds; i++ {
+				s.AllocFront(id, 10)
+				s.PushCB(peer, 5) // give the peer a CB...
+				s.PopCB(peer, 5)  // ...and take it back
+				s.FreeFront(id, 10)
+				s.AddFactors(id, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if got := s.Stack(w); got != 0 {
+			t.Errorf("worker %d stack %d, want 0", w, got)
+		}
+	}
+	procs := s.Snapshot()
+	for w := 0; w < workers; w++ {
+		if procs[w].Factors != rounds {
+			t.Errorf("worker %d factors %d, want %d", w, procs[w].Factors, rounds)
+		}
+		if procs[w].Fronts != 0 {
+			t.Errorf("worker %d fronts %d, want 0", w, procs[w].Fronts)
+		}
+	}
+}

@@ -1,0 +1,544 @@
+// Package parmf is the shared-memory parallel numeric multifrontal
+// executor: a pool of worker goroutines walks the assembly tree, assembling
+// and partially factoring independent fronts concurrently. It is the
+// real-thread counterpart of the message-passing simulator internal/parsim
+// — same tree, same memory model (factors area / per-worker CB stack /
+// active fronts, all in model entries), but wall-clock time and real
+// numerics via the kernels shared with internal/seqmf (internal/front).
+//
+// Tasks follow the paper's two-layer structure: a leaf subtree of the
+// static mapping is one task, processed entirely by one worker in postorder
+// (the Geist-Ng layer L0 amortizes scheduling over the cheap bottom of the
+// tree), while every node above the subtree layer is an individual task.
+// Ready tasks live in one shared pool (sched.Pool, LIFO so the default
+// traversal is depth-first), and a worker looking for work applies the
+// memory-aware policy of Algorithm 2 (sched.SelectMemoryAware) against its
+// *own* CB-stack occupation — it prefers the topmost task that keeps its
+// active memory under the sequential peak bound, and otherwise falls back
+// off-top. Shared memory affords one luxury the message-passing setting
+// lacks: when no pool task fits and other workers are still busy, the
+// worker waits for the state to change instead of blowing the bound. An
+// over-bound (peak-raising) activation happens — and is counted in
+// Stats.Forced — only for subtree work, which Algorithm 2 takes
+// unconditionally, or when the whole worker fleet has gone idle.
+//
+// Because pivoting is static and each front is assembled by exactly one
+// worker in deterministic child order, the factors are bitwise identical to
+// seqmf's regardless of worker count or interleaving; scheduling only
+// changes memory shape and wall-clock time.
+package parmf
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/assembly"
+	"repro/internal/dense"
+	"repro/internal/front"
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/seqmf"
+	"repro/internal/sparse"
+)
+
+// Policy selects how a worker picks its next task from the shared pool.
+type Policy int
+
+const (
+	// MemoryAware runs Algorithm 2 per worker: take the topmost ready task
+	// that keeps this worker's stack + task peak under the bound, fall
+	// back off-top, wait if nothing fits while others are busy.
+	MemoryAware Policy = iota
+	// DepthFirst always pops the pool top (the MUMPS default policy).
+	DepthFirst
+)
+
+func (p Policy) String() string {
+	switch p {
+	case MemoryAware:
+		return "memory"
+	case DepthFirst:
+		return "depthfirst"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config drives the parallel factorization.
+type Config struct {
+	// Workers is the worker-goroutine count (<1 means 1).
+	Workers int
+	// Policy is the task-selection policy.
+	Policy Policy
+	// PivotTol is the minimum pivot magnitude for LU (0 = default 1e-12).
+	PivotTol float64
+	// PeakBound is the per-worker active-memory budget (model entries) the
+	// memory-aware policy schedules under. 0 uses the sequential stack
+	// peak of the tree with its current child order — the tightest bound a
+	// single worker can always meet.
+	PeakBound int64
+	// SubtreeRoots lists roots of disjoint leaf subtrees (typically the
+	// static mapping's Geist-Ng layer); each subtree runs as a single task
+	// on one worker. Nodes outside the subtrees are individual tasks.
+	SubtreeRoots []int
+	// InSubtree optionally marks extra nodes Algorithm 2 should treat as
+	// subtree work (taken unconditionally, step 1); SubtreeRoots members
+	// are always treated so.
+	InSubtree func(node int) bool
+}
+
+// DefaultConfig returns the standard settings for the given worker count.
+func DefaultConfig(workers int) Config {
+	return Config{Workers: workers, Policy: MemoryAware, PivotTol: 1e-12}
+}
+
+// Stats records memory and work, in the units of the assembly cost model.
+// The first six fields match seqmf.Stats (see Seq) so a one-worker run can
+// be compared field-by-field with the sequential executor.
+type Stats struct {
+	FactorEntries int64 // total factor storage
+	PeakStack     int64 // max over workers of the (CB stack + active front) peak
+	FinalStack    int64 // stack entries left at the end (root CBs; 0 normally)
+	Fronts        int   // number of fronts processed
+	MaxFront      int   // largest front order
+	AssemblyOps   int64 // extend-add operations
+
+	Workers          int
+	Tasks            int     // scheduled tasks (subtrees + upper nodes)
+	PeakBound        int64   // bound the memory-aware policy scheduled under
+	WorkerPeaks      []int64 // per-worker (stack + front) peaks
+	WorkerStackPeaks []int64 // per-worker CB-stack-only peaks
+	Deviations       int64   // off-top pool selections (Algorithm 2 deviations)
+	Waits            int64   // idle episodes where nothing fit the bound
+	Forced           int64   // peak-raising activations over the worker's effective bound
+}
+
+// Seq returns the seqmf-comparable subset of the stats.
+func (s Stats) Seq() seqmf.Stats {
+	return seqmf.Stats{
+		FactorEntries: s.FactorEntries,
+		PeakStack:     s.PeakStack,
+		FinalStack:    s.FinalStack,
+		Fronts:        s.Fronts,
+		MaxFront:      s.MaxFront,
+		AssemblyOps:   s.AssemblyOps,
+	}
+}
+
+// Factors holds the parallel numeric factorization.
+type Factors struct {
+	Tree  *assembly.Tree
+	Kind  sparse.Type
+	N     int
+	Stats Stats
+
+	fs *front.Factors
+}
+
+// Front exposes the underlying per-node factor container (cross-validation
+// against seqmf compares node factors through it).
+func (f *Factors) Front() *front.Factors { return f.fs }
+
+// Solve solves A x = b in the permuted index space. b is not modified.
+func (f *Factors) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.N {
+		return nil, fmt.Errorf("parmf: rhs length %d, want %d", len(b), f.N)
+	}
+	return f.fs.Solve(b)
+}
+
+// SolveOriginal solves for a right-hand side in the original ordering.
+func (f *Factors) SolveOriginal(b []float64) ([]float64, error) {
+	if len(b) != f.N {
+		return nil, fmt.Errorf("parmf: rhs length %d, want %d", len(b), f.N)
+	}
+	return f.fs.SolveOriginal(b)
+}
+
+// state is the scheduling state shared by all workers, guarded by mu.
+// Contribution blocks (cbs, cbOwner) are written by the worker that factors
+// a node and read by the worker that assembles its parent; the completion
+// under mu that makes the parent's task ready establishes the
+// happens-before edge.
+type state struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	pool      sched.Pool
+	unfin     []int // per upper node: unfinished child tasks
+	remaining int   // tasks not yet completed
+	inFlight  int   // tasks being processed right now
+	err       error
+
+	cbs     []*dense.Matrix
+	cbOwner []int
+
+	stats Stats
+}
+
+// plan is the immutable task structure: which nodes form which tasks.
+type plan struct {
+	taskOf    []int   // node -> subtree-task root, or -1 for an individual task
+	taskNodes [][]int // subtree root -> member nodes in postorder (nil otherwise)
+	peaks     []int64 // sequential subtree peaks (task memory cost for subtrees)
+}
+
+// Factorize factors the permuted matrix pa over its assembly tree with a
+// pool of cfg.Workers goroutines. pa must carry numerical values.
+func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error) {
+	sh, err := front.NewShared(pa, tree)
+	if err != nil {
+		return nil, err // already carries the front: context
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.PivotTol == 0 {
+		cfg.PivotTol = 1e-12
+	}
+	peaks := assembly.SequentialPeaks(tree)
+	if cfg.PeakBound <= 0 {
+		cfg.PeakBound = assembly.TreePeak(peaks, tree)
+	}
+	if cfg.InSubtree == nil {
+		cfg.InSubtree = func(int) bool { return false }
+	}
+
+	pl, err := buildPlan(tree, cfg.SubtreeRoots, peaks)
+	if err != nil {
+		return nil, err
+	}
+
+	f := &Factors{
+		Tree: tree,
+		Kind: pa.Kind,
+		N:    pa.N,
+		fs:   front.NewFactors(tree, pa.Kind),
+	}
+	st := &state{
+		unfin:   make([]int, tree.Len()),
+		cbs:     make([]*dense.Matrix, tree.Len()),
+		cbOwner: make([]int, tree.Len()),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	st.stats.Workers = cfg.Workers
+	st.stats.PeakBound = cfg.PeakBound
+	for i := range tree.Nodes {
+		st.unfin[i] = len(tree.Nodes[i].Children)
+	}
+	// Seed the pool with the initially ready tasks — every subtree task
+	// (self-contained) and every individual node without children — in
+	// reverse postorder of their first node, so the LIFO top is the
+	// earliest task in postorder and a single depth-first worker replays
+	// the sequential traversal exactly.
+	post := tree.Postorder()
+	for i := len(post) - 1; i >= 0; i-- {
+		ni := post[i]
+		if r := pl.taskOf[ni]; r >= 0 {
+			// A subtree task's seeding position is its *first* postorder
+			// node, so the LIFO pop order matches the sequential schedule.
+			if pl.taskNodes[r][0] == ni {
+				st.pool.Push(r)
+			}
+		} else if st.unfin[ni] == 0 {
+			st.pool.Push(ni)
+		}
+	}
+	for i := range tree.Nodes {
+		if pl.taskOf[i] == i || pl.taskOf[i] < 0 {
+			st.remaining++
+		}
+	}
+	st.stats.Tasks = st.remaining
+
+	tracker := memory.NewSafeTracker(cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker{id: id, cfg: cfg, sh: sh, st: st, pl: pl, tracker: tracker,
+				out: f.fs, asm: front.NewAssembler(sh)}.run()
+		}(w)
+	}
+	wg.Wait()
+
+	if st.err != nil {
+		return nil, st.err
+	}
+	f.Stats = st.stats
+	for w := 0; w < cfg.Workers; w++ {
+		f.Stats.WorkerPeaks = append(f.Stats.WorkerPeaks, tracker.ActivePeak(w))
+		f.Stats.WorkerStackPeaks = append(f.Stats.WorkerStackPeaks, tracker.StackPeak(w))
+		f.Stats.FinalStack += tracker.Stack(w)
+		if p := tracker.ActivePeak(w); p > f.Stats.PeakStack {
+			f.Stats.PeakStack = p
+		}
+	}
+	return f, nil
+}
+
+// buildPlan derives the task structure from the subtree roots: each root's
+// descendant set becomes one task with its nodes in global postorder.
+func buildPlan(tree *assembly.Tree, roots []int, peaks []int64) (*plan, error) {
+	pl := &plan{
+		taskOf:    make([]int, tree.Len()),
+		taskNodes: make([][]int, tree.Len()),
+		peaks:     peaks,
+	}
+	for i := range pl.taskOf {
+		pl.taskOf[i] = -1
+	}
+	for _, r := range roots {
+		if r < 0 || r >= tree.Len() {
+			return nil, fmt.Errorf("parmf: subtree root %d out of range", r)
+		}
+		stack := []int{r}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if pl.taskOf[n] >= 0 {
+				return nil, fmt.Errorf("parmf: node %d in two subtree tasks (%d and %d)",
+					n, pl.taskOf[n], r)
+			}
+			pl.taskOf[n] = r
+			stack = append(stack, tree.Nodes[n].Children...)
+		}
+	}
+	// Member lists in global postorder (a complete subtree is a contiguous
+	// postorder segment, so per-task order == global order restriction).
+	for _, ni := range tree.Postorder() {
+		if r := pl.taskOf[ni]; r >= 0 {
+			pl.taskNodes[r] = append(pl.taskNodes[r], ni)
+		}
+	}
+	return pl, nil
+}
+
+// taskCost returns the memory Algorithm 2 charges a task with: the whole
+// sequential subtree peak for a subtree task, the front size for a node.
+func (pl *plan) taskCost(task int, tree *assembly.Tree) int64 {
+	if pl.taskOf[task] == task {
+		return pl.peaks[task]
+	}
+	return assembly.FrontEntries(&tree.Nodes[task], tree.Kind)
+}
+
+type worker struct {
+	id      int
+	cfg     Config
+	sh      *front.Shared
+	st      *state
+	pl      *plan
+	tracker *memory.SafeTracker
+	out     *front.Factors
+	asm     *front.Assembler
+}
+
+// taskResult carries a finished task's bookkeeping back under the lock.
+type taskResult struct {
+	task            int
+	err             error
+	fronts          int
+	maxFront        int
+	factorEntries   int64
+	assemblyOps     int64
+	consumedForeign bool // popped a CB from another worker's stack
+}
+
+func (w worker) run() {
+	st := w.st
+	var done *taskResult
+	for {
+		st.mu.Lock()
+		if done != nil {
+			w.completeLocked(done)
+			done = nil
+		}
+		var task int
+		waited := false
+		for {
+			if st.err != nil || st.remaining == 0 {
+				st.mu.Unlock()
+				return
+			}
+			t, ok := w.selectLocked()
+			if ok {
+				task = t
+				break
+			}
+			// One idle episode counts once, however many broadcasts wake
+			// and re-block the worker before work appears.
+			if !waited {
+				st.stats.Waits++
+				waited = true
+			}
+			st.cond.Wait()
+		}
+		st.inFlight++
+		st.mu.Unlock()
+
+		done = w.processTask(task)
+	}
+}
+
+// completeLocked folds a finished task back into the shared state and wakes
+// waiters when the completion could unblock them: a new ready task, freed
+// stack headroom on another worker, the pool draining, an error, or the
+// worker fleet going idle (the forced-activation path needs a wake-up).
+func (w worker) completeLocked(r *taskResult) {
+	st := w.st
+	st.inFlight--
+	pushed := false
+	if r.err != nil {
+		if st.err == nil {
+			st.err = r.err
+		}
+	} else {
+		st.remaining--
+		st.stats.Fronts += r.fronts
+		if r.maxFront > st.stats.MaxFront {
+			st.stats.MaxFront = r.maxFront
+		}
+		st.stats.FactorEntries += r.factorEntries
+		st.stats.AssemblyOps += r.assemblyOps
+		if p := w.sh.Tree.Nodes[r.task].Parent; p >= 0 {
+			st.unfin[p]--
+			if st.unfin[p] == 0 {
+				st.pool.Push(p)
+				pushed = true
+			}
+		}
+	}
+	if pushed || r.consumedForeign || st.err != nil || st.remaining == 0 || st.inFlight == 0 {
+		st.cond.Broadcast()
+	}
+}
+
+// selectLocked picks the next task under st.mu, returning (task, true) or
+// (0, false) when the worker should wait. The memory-aware policy runs
+// Algorithm 2 with this worker's stack as the current occupation; when the
+// chosen task would exceed the bound it is only activated if it is subtree
+// work (Algorithm 2 takes those unconditionally) or no other work is in
+// flight anywhere (otherwise waiting is safe and cheaper).
+func (w worker) selectLocked() (int, bool) {
+	st := w.st
+	if st.pool.Empty() {
+		return 0, false
+	}
+	if w.cfg.Policy == DepthFirst {
+		return st.pool.PopTop(), true
+	}
+	tree := w.sh.Tree
+	myStack := w.tracker.Stack(w.id)
+	bound := w.cfg.PeakBound
+	if p := w.tracker.ActivePeak(w.id); p > bound {
+		bound = p
+	}
+	inSubtree := func(task int) bool {
+		return w.pl.taskOf[task] == task || w.cfg.InSubtree(task)
+	}
+	cost := func(task int) int64 { return w.pl.taskCost(task, tree) }
+
+	// Fast path: Algorithm 2 returns the top task when it is subtree work
+	// or fits the bound; skip the pool scan (and its copy) in that case.
+	top := st.pool.Peek()
+	k := 0
+	if !inSubtree(top) && myStack+cost(top) > bound {
+		k = sched.SelectMemoryAware(&st.pool, sched.TaskInfo{
+			InSubtree: inSubtree,
+			MemCost:   cost,
+		}, myStack, bound)
+	}
+	task := top
+	if k > 0 {
+		task = st.pool.At(k)
+	}
+	// Gate against the same effective bound the scan used: a task under the
+	// raised (observed-peak) bound cannot raise this worker's peak, so it
+	// is neither worth waiting out nor a forced over-bound activation.
+	over := myStack+cost(task) > bound
+	if over && !inSubtree(task) && st.inFlight > 0 {
+		return 0, false // headroom will appear when someone finishes
+	}
+	st.pool.PopAt(k)
+	if k > 0 {
+		st.stats.Deviations++
+	}
+	if over {
+		st.stats.Forced++
+	}
+	return task, true
+}
+
+// processTask runs a task without holding st.mu: a single node, or a whole
+// leaf subtree in postorder.
+func (w worker) processTask(task int) *taskResult {
+	r := &taskResult{task: task}
+	nodes := []int{task}
+	if w.pl.taskOf[task] == task {
+		nodes = w.pl.taskNodes[task]
+	}
+	for _, ni := range nodes {
+		if err := w.processNode(ni, r); err != nil {
+			r.err = err
+			return r
+		}
+	}
+	return r
+}
+
+// processNode assembles, eliminates and extracts node ni. The per-worker
+// memory accounting mirrors seqmf exactly (front allocated with children
+// CBs still stacked, children popped after extend-add, front freed before
+// the CB is stacked).
+func (w worker) processNode(ni int, r *taskResult) error {
+	tree := w.sh.Tree
+	nd := &tree.Nodes[ni]
+	npiv := nd.NPiv()
+	nf := nd.NFront()
+	rows := w.asm.Begin(ni)
+
+	fe := assembly.FrontEntries(nd, tree.Kind)
+	w.tracker.AllocFront(w.id, fe)
+	fr := dense.New(nf, nf)
+	if err := w.asm.Scatter(ni, fr); err != nil {
+		return err
+	}
+
+	for _, c := range nd.Children {
+		n, err := w.asm.ExtendAdd(ni, fr, c, w.st.cbs[c])
+		if err != nil {
+			return err
+		}
+		r.assemblyOps += n
+	}
+	for _, c := range nd.Children {
+		owner := w.st.cbOwner[c]
+		if owner != w.id {
+			r.consumedForeign = true
+		}
+		w.tracker.PopCB(owner, assembly.CBEntries(&tree.Nodes[c], tree.Kind))
+		w.st.cbs[c] = nil
+	}
+
+	if err := front.Eliminate(fr, npiv, tree.Kind, w.cfg.PivotTol); err != nil {
+		return fmt.Errorf("parmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
+	}
+
+	w.out.SetNode(ni, front.ExtractFactor(fr, rows, npiv, tree.Kind))
+	w.tracker.AddFactors(w.id, assembly.FactorEntries(nd, tree.Kind))
+	w.tracker.FreeFront(w.id, fe)
+
+	if cb := front.ExtractCB(fr, npiv, nd.NCB(), tree.Kind); cb != nil {
+		w.st.cbs[ni] = cb
+		w.st.cbOwner[ni] = w.id
+		w.tracker.PushCB(w.id, assembly.CBEntries(nd, tree.Kind))
+	}
+
+	r.fronts++
+	if nf > r.maxFront {
+		r.maxFront = nf
+	}
+	r.factorEntries += assembly.FactorEntries(nd, tree.Kind)
+	return nil
+}

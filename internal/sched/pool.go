@@ -26,6 +26,16 @@ func (p *Pool) Peek() int {
 	return p.items[len(p.items)-1]
 }
 
+// At returns the task at depth k from the top (0 = top) without removing
+// it (-1 if out of range).
+func (p *Pool) At(k int) int {
+	idx := len(p.items) - 1 - k
+	if idx < 0 || idx >= len(p.items) {
+		return -1
+	}
+	return p.items[idx]
+}
+
 // PopTop removes and returns the top task (the MUMPS default policy).
 func (p *Pool) PopTop() int {
 	n := len(p.items)

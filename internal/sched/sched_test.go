@@ -415,3 +415,18 @@ func TestSelectSlavesHybridFallback(t *testing.T) {
 		t.Fatalf("fallback failed: %v", hyb)
 	}
 }
+
+func TestPoolAt(t *testing.T) {
+	var p Pool
+	for i := 1; i <= 3; i++ {
+		p.Push(i)
+	}
+	for k, want := range []int{3, 2, 1} {
+		if got := p.At(k); got != want {
+			t.Errorf("At(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if p.At(3) != -1 || p.At(-1) != -1 {
+		t.Error("out-of-range At not -1")
+	}
+}

@@ -5,6 +5,11 @@
 // contribution block for the parent — exactly the storage scheme of
 // Section 2 of the paper (factors area / CB stack / active front).
 //
+// The per-front kernels (assembly, partial factorization, extraction and
+// the triangular solves) live in internal/front and are shared with the
+// shared-memory parallel executor internal/parmf; this package contributes
+// the postorder walk and the single-stack memory accounting.
+//
 // Symmetric positive definite matrices use partial Cholesky; unsymmetric
 // matrices use partial LU on the symmetrized structure. Pivoting is static
 // (see dense.ErrSmallPivot).
@@ -15,6 +20,7 @@ import (
 
 	"repro/internal/assembly"
 	"repro/internal/dense"
+	"repro/internal/front"
 	"repro/internal/sparse"
 )
 
@@ -36,16 +42,12 @@ type Factors struct {
 	N     int
 	Stats Stats
 
-	nodes []nodeFactor
-	post  []int
+	fs *front.Factors
 }
 
-type nodeFactor struct {
-	rows []int // global front indices: pivot columns then CB rows
-	npiv int
-	l    *dense.Matrix // f x npiv lower trapezoid (diag: Cholesky=L(k,k), LU=1 implicit)
-	u    *dense.Matrix // npiv x f upper trapezoid (LU only, holds U diag)
-}
+// Front exposes the underlying per-node factor container (used by the
+// parallel executor's cross-validation tests).
+func (f *Factors) Front() *front.Factors { return f.fs }
 
 // Options configures the numeric factorization.
 type Options struct {
@@ -58,36 +60,17 @@ func DefaultOptions() Options { return Options{PivotTol: 1e-12} }
 // Factorize factors the permuted matrix pa whose assembly tree is tree.
 // pa must carry numerical values.
 func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, error) {
-	if !pa.HasValues() {
-		return nil, fmt.Errorf("seqmf: matrix has no values")
-	}
-	if pa.N != tree.N {
-		return nil, fmt.Errorf("seqmf: matrix order %d vs tree %d", pa.N, tree.N)
+	sh, err := front.NewShared(pa, tree)
+	if err != nil {
+		return nil, err // already carries the front: context
 	}
 	f := &Factors{
-		Tree:  tree,
-		Kind:  pa.Kind,
-		N:     pa.N,
-		nodes: make([]nodeFactor, tree.Len()),
-		post:  tree.Postorder(),
+		Tree: tree,
+		Kind: pa.Kind,
+		N:    pa.N,
+		fs:   front.NewFactors(tree, pa.Kind),
 	}
-	var pat *sparse.CSC // transpose for the unsymmetric upper parts
-	if pa.Kind == sparse.Unsymmetric {
-		pat = sparse.Transpose(pa)
-	}
-	// colOwner: column -> node.
-	colOwner := make([]int, pa.N)
-	for i := range tree.Nodes {
-		nd := &tree.Nodes[i]
-		for j := nd.Begin; j < nd.End; j++ {
-			colOwner[j] = i
-		}
-	}
-	loc := make([]int, pa.N) // global -> local front index, stamped
-	stamp := make([]int, pa.N)
-	for i := range stamp {
-		stamp[i] = -1
-	}
+	asm := front.NewAssembler(sh)
 
 	cbs := make([]*dense.Matrix, tree.Len()) // live contribution blocks
 	var stack int64                          // live CB entries (model units)
@@ -97,84 +80,28 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		}
 	}
 
-	for _, ni := range f.post {
+	for _, ni := range tree.Postorder() {
 		nd := &tree.Nodes[ni]
 		npiv := nd.NPiv()
 		nf := nd.NFront()
-		rows := make([]int, 0, nf)
-		for j := nd.Begin; j < nd.End; j++ {
-			rows = append(rows, j)
-		}
-		rows = append(rows, nd.Rows...)
-		for k, g := range rows {
-			loc[g] = k
-			stamp[g] = ni
-		}
+		rows := asm.Begin(ni)
 
-		front := dense.New(nf, nf)
+		fr := dense.New(nf, nf)
 		frontEntries := assembly.FrontEntries(nd, tree.Kind)
 		bump(stack + frontEntries)
 
-		// Scatter original entries owned by this node.
-		for j := nd.Begin; j < nd.End; j++ {
-			lj := loc[j]
-			cols := pa.Col(j)
-			vals := pa.ColVal(j)
-			for p, i := range cols {
-				if pa.Kind == sparse.Symmetric {
-					if i < j {
-						continue
-					}
-					front.Add(loc[i], lj, vals[p])
-					continue
-				}
-				// Unsymmetric: entry (i,j) belongs here iff min(i,j) is ours,
-				// i.e. i >= Begin (j is ours already).
-				if i >= nd.Begin {
-					if stamp[i] != ni {
-						return nil, fmt.Errorf("seqmf: structure misses row %d in front %d", i, ni)
-					}
-					front.Add(loc[i], lj, vals[p])
-				}
-			}
-			if pat != nil {
-				// Row j entries (j, c) with c beyond this node's pivots.
-				cols := pat.Col(j)
-				vals := pat.ColVal(j)
-				for p, c := range cols {
-					if c < nd.End {
-						continue // handled by a column scatter
-					}
-					if stamp[c] != ni {
-						return nil, fmt.Errorf("seqmf: structure misses col %d in front %d", c, ni)
-					}
-					front.Add(lj, loc[c], vals[p])
-				}
-			}
+		if err := asm.Scatter(ni, fr); err != nil {
+			return nil, err
 		}
 
-		// Extend-add children.
+		// Extend-add children, then free their CBs.
 		for _, c := range nd.Children {
-			cb := cbs[c]
-			if cb == nil {
-				return nil, fmt.Errorf("seqmf: child %d CB missing at node %d", c, ni)
+			ops, err := asm.ExtendAdd(ni, fr, c, cbs[c])
+			if err != nil {
+				return nil, err
 			}
-			child := &tree.Nodes[c]
-			idx := make([]int, len(child.Rows))
-			for k, g := range child.Rows {
-				if stamp[g] != ni {
-					return nil, fmt.Errorf("seqmf: child %d row %d not in parent %d front", c, g, ni)
-				}
-				idx[k] = loc[g]
-			}
-			if tree.Kind == sparse.Symmetric {
-				dense.ExtendAddLower(front, cb, idx)
-			} else {
-				dense.ExtendAdd(front, cb, idx)
-			}
-			f.Stats.AssemblyOps += assembly.CBEntries(child, tree.Kind)
+			f.Stats.AssemblyOps += ops
 		}
-		// Free children CBs now that the front is assembled.
 		for _, c := range nd.Children {
 			stack -= assembly.CBEntries(&tree.Nodes[c], tree.Kind)
 			cbs[c] = nil
@@ -182,33 +109,11 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		bump(stack + frontEntries)
 
 		// Partial factorization.
-		var err error
-		if pa.Kind == sparse.Symmetric {
-			err = dense.PartialCholesky(front, npiv)
-		} else {
-			err = dense.PartialLU(front, npiv, opt.PivotTol)
-		}
-		if err != nil {
+		if err := front.Eliminate(fr, npiv, pa.Kind, opt.PivotTol); err != nil {
 			return nil, fmt.Errorf("seqmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
 		}
 
-		// Extract factor pieces.
-		nfac := nodeFactor{rows: rows, npiv: npiv}
-		nfac.l = dense.New(nf, npiv)
-		for i := 0; i < nf; i++ {
-			for k := 0; k < npiv && k <= i; k++ {
-				nfac.l.Set(i, k, front.At(i, k))
-			}
-		}
-		if pa.Kind == sparse.Unsymmetric {
-			nfac.u = dense.New(npiv, nf)
-			for k := 0; k < npiv; k++ {
-				for j := k; j < nf; j++ {
-					nfac.u.Set(k, j, front.At(k, j))
-				}
-			}
-		}
-		f.nodes[ni] = nfac
+		f.fs.SetNode(ni, front.ExtractFactor(fr, rows, npiv, pa.Kind))
 		f.Stats.FactorEntries += assembly.FactorEntries(nd, tree.Kind)
 		f.Stats.Fronts++
 		if nf > f.Stats.MaxFront {
@@ -216,17 +121,7 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		}
 
 		// Stack the contribution block.
-		ncb := nd.NCB()
-		if ncb > 0 {
-			cb := dense.New(ncb, ncb)
-			for i := 0; i < ncb; i++ {
-				for j := 0; j < ncb; j++ {
-					if tree.Kind == sparse.Symmetric && j > i {
-						continue
-					}
-					cb.Set(i, j, front.At(npiv+i, npiv+j))
-				}
-			}
+		if cb := front.ExtractCB(fr, npiv, nd.NCB(), tree.Kind); cb != nil {
 			cbs[ni] = cb
 			stack += assembly.CBEntries(nd, tree.Kind)
 			bump(stack)
@@ -243,81 +138,14 @@ func (f *Factors) Solve(b []float64) ([]float64, error) {
 	if len(b) != f.N {
 		return nil, fmt.Errorf("seqmf: rhs length %d, want %d", len(b), f.N)
 	}
-	x := append([]float64(nil), b...)
-	// Forward: y = L^{-1} b, walking fronts in postorder.
-	for _, ni := range f.post {
-		nf := &f.nodes[ni]
-		xl := gather(x, nf.rows)
-		for k := 0; k < nf.npiv; k++ {
-			if f.Kind == sparse.Symmetric {
-				xl[k] /= nf.l.At(k, k)
-			}
-			v := xl[k]
-			if v == 0 {
-				continue
-			}
-			for i := k + 1; i < len(nf.rows); i++ {
-				xl[i] -= nf.l.At(i, k) * v
-			}
-		}
-		scatter(x, nf.rows, xl)
-	}
-	// Backward: x = U^{-1} y (or L^{-T} y), reverse postorder.
-	for p := len(f.post) - 1; p >= 0; p-- {
-		nf := &f.nodes[f.post[p]]
-		xl := gather(x, nf.rows)
-		for k := nf.npiv - 1; k >= 0; k-- {
-			s := xl[k]
-			if f.Kind == sparse.Symmetric {
-				// Row k of L^T = column k of L.
-				for i := k + 1; i < len(nf.rows); i++ {
-					s -= nf.l.At(i, k) * xl[i]
-				}
-				xl[k] = s / nf.l.At(k, k)
-			} else {
-				for j := k + 1; j < len(nf.rows); j++ {
-					s -= nf.u.At(k, j) * xl[j]
-				}
-				xl[k] = s / nf.u.At(k, k)
-			}
-		}
-		scatter(x, nf.rows, xl)
-	}
-	return x, nil
+	return f.fs.Solve(b)
 }
 
 // SolveOriginal solves for a right-hand side given in the *original*
 // (pre-permutation) ordering, returning x in the original ordering.
 func (f *Factors) SolveOriginal(b []float64) ([]float64, error) {
-	perm := f.Tree.Perm
-	if perm == nil {
-		return f.Solve(b)
+	if len(b) != f.N {
+		return nil, fmt.Errorf("seqmf: rhs length %d, want %d", len(b), f.N)
 	}
-	pb := make([]float64, len(b))
-	for newI, oldI := range perm {
-		pb[newI] = b[oldI]
-	}
-	px, err := f.Solve(pb)
-	if err != nil {
-		return nil, err
-	}
-	x := make([]float64, len(b))
-	for newI, oldI := range perm {
-		x[oldI] = px[newI]
-	}
-	return x, nil
-}
-
-func gather(x []float64, idx []int) []float64 {
-	out := make([]float64, len(idx))
-	for k, g := range idx {
-		out[k] = x[g]
-	}
-	return out
-}
-
-func scatter(x []float64, idx []int, v []float64) {
-	for k, g := range idx {
-		x[g] = v[k]
-	}
+	return f.fs.SolveOriginal(b)
 }

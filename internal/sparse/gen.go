@@ -1,6 +1,9 @@
 package sparse
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Synthetic problem generators. These stand in for the Rutherford-Boeing /
 // University of Florida / PARASOL matrices of the paper's Table 1 (see
@@ -282,4 +285,50 @@ func Shell(nx, ny, layers int) *CSC {
 		}
 	}
 	return b.Build()
+}
+
+// FillDominant assigns values in place to a pattern-only matrix so that it
+// is strictly diagonally dominant (hence SPD for symmetric kinds):
+// off-diagonal entries get random values in (-1.5, -0.5] and each diagonal
+// entry becomes the absolute row sum plus one. Used to give numeric values
+// to symbolic patterns such as AAT (the GUPTA3 analogue) so the numeric
+// executors can factor them. Every diagonal entry must be present in the
+// pattern or an error is returned (with the values left unset). A matrix
+// that already has values is returned unchanged.
+func FillDominant(a *CSC, rng *rand.Rand) error {
+	if a.HasValues() {
+		return nil
+	}
+	a.Val = make([]float64, len(a.RowIdx))
+	dom := make([]float64, a.N)
+	diag := make([]int, a.N)
+	for i := range diag {
+		diag[i] = -1
+	}
+	for j := 0; j < a.N; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			if i == j {
+				diag[j] = p
+				continue
+			}
+			v := -0.5 - rng.Float64()
+			a.Val[p] = v
+			dom[i] -= v
+			if a.Kind == Symmetric {
+				// Lower-triangle storage: (i,j) also stands for (j,i).
+				dom[j] -= v
+			}
+		}
+	}
+	for j := 0; j < a.N; j++ {
+		if diag[j] < 0 {
+			a.Val = nil
+			return fmt.Errorf("sparse: FillDominant needs diagonal entry %d", j)
+		}
+	}
+	for j := 0; j < a.N; j++ {
+		a.Val[diag[j]] = dom[j] + 1
+	}
+	return nil
 }

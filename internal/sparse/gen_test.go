@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -201,5 +202,54 @@ func TestValidateCatchesBrokenMatrices(t *testing.T) {
 	}
 	if err := mk().Validate(); err != nil {
 		t.Fatalf("pristine matrix rejected: %v", err)
+	}
+}
+
+func TestFillDominant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := Submatrix(AAT(RandomRect(40, 80, 3, 2, rng)), 40)
+	if a.HasValues() {
+		t.Fatal("AAT pattern unexpectedly has values")
+	}
+	if err := FillDominant(a, rng); err != nil {
+		t.Fatal(err)
+	}
+	if !a.HasValues() {
+		t.Fatal("FillDominant left no values")
+	}
+	// Strict diagonal dominance over the expanded symmetric matrix.
+	full := ExpandSymmetric(a)
+	for j := 0; j < full.N; j++ {
+		var off, diag float64
+		for p := full.ColPtr[j]; p < full.ColPtr[j+1]; p++ {
+			v := full.Val[p]
+			if full.RowIdx[p] == j {
+				diag = v
+			} else {
+				off += math.Abs(v)
+			}
+		}
+		if diag <= off {
+			t.Fatalf("column %d not dominant: diag %g, off %g", j, diag, off)
+		}
+	}
+	// Idempotent on valued matrices.
+	before := append([]float64(nil), a.Val...)
+	if err := FillDominant(a, rng); err != nil {
+		t.Fatal(err)
+	}
+	for p := range before {
+		if a.Val[p] != before[p] {
+			t.Fatal("FillDominant overwrote existing values")
+		}
+	}
+	// A missing diagonal is an error, not a panic, and leaves the
+	// pattern-only state intact.
+	bad := &CSC{N: 2, ColPtr: []int{0, 1, 1}, RowIdx: []int{1}, Kind: Unsymmetric}
+	if err := FillDominant(bad, rng); err == nil {
+		t.Fatal("missing diagonal accepted")
+	}
+	if bad.HasValues() {
+		t.Fatal("failed FillDominant left partial values")
 	}
 }
