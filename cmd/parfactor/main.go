@@ -65,6 +65,10 @@ func main() {
 	small := flag.Bool("small", false, "use the reduced (test-scale) suite")
 	flag.Parse()
 
+	if *workers < 1 {
+		log.Fatalf("-workers must be >= 1 (got %d)", *workers)
+	}
+
 	var a *sparse.CSC
 	switch {
 	case *mmFile != "":

@@ -9,6 +9,7 @@
 //	an, err := core.Analyze(a, core.DefaultConfig(order.ND, 32))
 //	f, err := an.Factorize()          // numeric LU/Cholesky + Solve
 //	pf, err := an.FactorizeParallel(parmf.DefaultConfig(8))
+//	of, st, err := an.FactorizeOOC()  // factors spilled to disk as produced
 //	res, err := an.Simulate(parsim.MemoryBased())
 package core
 
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/assembly"
 	"repro/internal/etree"
+	"repro/internal/ooc"
 	"repro/internal/order"
 	"repro/internal/parmf"
 	"repro/internal/parsim"
@@ -42,6 +44,10 @@ type Config struct {
 	MapOptions assembly.MapOptions
 	// Params is the simulated machine model (zero value = defaults).
 	Params parsim.Params
+	// OOC configures the out-of-core factor store used by FactorizeOOC
+	// and FactorizeParallelOOC (zero value = defaults: spill file in the
+	// system temp dir, resident buffer sized by oocOptions).
+	OOC ooc.Options
 }
 
 // DefaultConfig returns a standard configuration.
@@ -159,6 +165,65 @@ func (an *Analysis) FactorizeParallel(cfg parmf.Config) (*parmf.Factors, error) 
 		cfg.SubtreeRoots = an.Mapping.SubRoot
 	}
 	return parmf.Factorize(an.Permuted, an.Tree, cfg)
+}
+
+// oocOptions resolves Config.OOC, defaulting the resident-buffer budget
+// relative to the problem: 1/16 of the total factor entries (clamped to
+// [1024, 1<<16]), so the spill buffer is always small next to what an
+// in-core execution would keep resident — without this, a fixed budget
+// larger than a small problem's factors would never throttle the
+// producer and the writer could lag a whole factorization behind.
+func (an *Analysis) oocOptions() ooc.Options {
+	opt := an.Config.OOC
+	if opt.BufferEntries == 0 {
+		b := assembly.TotalFactorEntries(an.Tree) / 16
+		if b < 1024 {
+			b = 1024
+		}
+		if b > 1<<16 {
+			b = 1 << 16
+		}
+		opt.BufferEntries = b
+	}
+	return opt
+}
+
+// FactorizeOOC runs the sequential numeric factorization out-of-core:
+// every factor block is spilled to disk (through an ooc.FileStore built
+// from Config.OOC) the moment it is produced, so only the CB stack and
+// the active front stay resident. The returned factors solve by
+// streaming blocks back from disk; Close them (or the store) to delete
+// the spill file. The factors are bitwise identical to Factorize's.
+func (an *Analysis) FactorizeOOC() (*seqmf.Factors, *ooc.FileStore, error) {
+	st, err := ooc.NewFileStore(an.oocOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := seqmf.DefaultOptions()
+	opt.Store = st
+	f, err := seqmf.Factorize(an.Permuted, an.Tree, opt)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return f, st, nil
+}
+
+// FactorizeParallelOOC is FactorizeParallel with the factor blocks
+// spilled to disk as produced (see FactorizeOOC). cfg.Store is
+// overridden with the new file store.
+func (an *Analysis) FactorizeParallelOOC(cfg parmf.Config) (*parmf.Factors, *ooc.FileStore, error) {
+	st, err := ooc.NewFileStore(an.oocOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Store = st
+	f, err := an.FactorizeParallel(cfg)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return f, st, nil
 }
 
 // Simulate runs the parallel factorization simulator under the given

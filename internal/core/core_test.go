@@ -156,6 +156,92 @@ func TestSimulateTraced(t *testing.T) {
 	}
 }
 
+func TestFactorizeOOC(t *testing.T) {
+	a := sparse.Grid3D(8, 8, 8)
+	cfg := DefaultConfig(order.ND, 4)
+	cfg.OOC.Dir = t.TempDir()
+	an, err := Analyze(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := an.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	of, st, err := an.FactorizeOOC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer of.Close()
+	if of.Front() != nil {
+		t.Error("OOC factors expose an in-memory container")
+	}
+	if st.Stats().Blocks != an.Tree.Len() {
+		t.Errorf("spilled %d blocks, want %d", st.Stats().Blocks, an.Tree.Len())
+	}
+	if of.Stats.ResidentPeak >= sf.Stats.ResidentPeak {
+		t.Errorf("OOC resident peak %d not below in-core %d",
+			of.Stats.ResidentPeak, sf.Stats.ResidentPeak)
+	}
+	// Same factors → identical solves.
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = float64(i%11) - 5
+	}
+	xs, err := sf.SolveOriginal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xo, err := of.SolveOriginal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if xs[i] != xo[i] {
+			t.Fatalf("x[%d]: %g vs %g (should be bitwise identical)", i, xs[i], xo[i])
+		}
+	}
+}
+
+func TestFactorizeParallelOOC(t *testing.T) {
+	a := sparse.Grid3D(8, 8, 8)
+	cfg := DefaultConfig(order.ND, 4)
+	cfg.OOC.Dir = t.TempDir()
+	an, err := Analyze(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, st, err := an.FactorizeParallelOOC(parmf.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if st.Stats().Blocks != an.Tree.Len() {
+		t.Errorf("spilled %d blocks, want %d", st.Stats().Blocks, an.Tree.Len())
+	}
+	sf, err := an.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	xs, err := sf.SolveOriginal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xp, err := pf.SolveOriginal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if xs[i] != xp[i] {
+			t.Fatalf("x[%d]: %g vs %g (should be bitwise identical)", i, xs[i], xp[i])
+		}
+	}
+}
+
 func TestFactorizeParallelMatchesSequential(t *testing.T) {
 	a := sparse.Grid3D(8, 8, 8)
 	an, err := Analyze(a, DefaultConfig(order.ND, 4))

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/assembly"
 	"repro/internal/dense"
+	"repro/internal/memory"
 	"repro/internal/sparse"
 )
 
@@ -16,31 +17,32 @@ type NodeFactor struct {
 	U    *dense.Matrix // npiv x f upper trapezoid (LU only, holds U diag)
 }
 
-// Factors is the completed numeric factorization: per-node factor pieces
-// plus the postorder the solves walk. Both executors produce one.
+// Factors is the in-memory factor Store: per-node factor pieces held in
+// one slice. Both executors produce one unless an external Store (e.g.
+// the out-of-core file store) is supplied.
 type Factors struct {
 	Tree *assembly.Tree
 	Kind sparse.Type
 	N    int
 
 	nodes []NodeFactor
-	post  []int
+	meter *memory.Meter
 }
 
-// NewFactors allocates an empty factor container for the tree. SetNode may
-// then be called concurrently for distinct nodes.
+// NewFactors allocates an empty factor container for the tree. Put (or
+// SetNode) may then be called concurrently for distinct nodes.
 func NewFactors(tree *assembly.Tree, kind sparse.Type) *Factors {
 	return &Factors{
 		Tree:  tree,
 		Kind:  kind,
 		N:     tree.N,
 		nodes: make([]NodeFactor, tree.Len()),
-		post:  tree.Postorder(),
 	}
 }
 
-// SetNode stores the factor pieces of node ni. Distinct nodes may be set
-// from different goroutines without synchronization.
+// SetNode stores the factor pieces of node ni without touching the
+// resident meter. Distinct nodes may be set from different goroutines
+// without synchronization.
 func (f *Factors) SetNode(ni int, nf NodeFactor) { f.nodes[ni] = nf }
 
 // Node returns the factor pieces of node ni.
@@ -53,64 +55,72 @@ func (f *Factors) Solve(b []float64) ([]float64, error) {
 	if len(b) != f.N {
 		return nil, fmt.Errorf("front: rhs length %d, want %d", len(b), f.N)
 	}
-	x := append([]float64(nil), b...)
-	// Forward: y = L^{-1} b, walking fronts in postorder.
-	for _, ni := range f.post {
-		nf := &f.nodes[ni]
-		xl := gather(x, nf.Rows)
-		for k := 0; k < nf.NPiv; k++ {
-			if f.Kind == sparse.Symmetric {
-				xl[k] /= nf.L.At(k, k)
-			}
-			v := xl[k]
-			if v == 0 {
-				continue
-			}
-			for i := k + 1; i < len(nf.Rows); i++ {
-				xl[i] -= nf.L.At(i, k) * v
-			}
-		}
-		scatter(x, nf.Rows, xl)
-	}
-	// Backward: x = U^{-1} y (or L^{-T} y), reverse postorder.
-	for p := len(f.post) - 1; p >= 0; p-- {
-		nf := &f.nodes[f.post[p]]
-		xl := gather(x, nf.Rows)
-		for k := nf.NPiv - 1; k >= 0; k-- {
-			s := xl[k]
-			if f.Kind == sparse.Symmetric {
-				// Row k of L^T = column k of L.
-				for i := k + 1; i < len(nf.Rows); i++ {
-					s -= nf.L.At(i, k) * xl[i]
-				}
-				xl[k] = s / nf.L.At(k, k)
-			} else {
-				for j := k + 1; j < len(nf.Rows); j++ {
-					s -= nf.U.At(k, j) * xl[j]
-				}
-				xl[k] = s / nf.U.At(k, k)
-			}
-		}
-		scatter(x, nf.Rows, xl)
-	}
-	return x, nil
+	return SolveStore(f, f.Tree, f.Kind, b)
 }
 
 // SolveOriginal solves for a right-hand side given in the *original*
 // (pre-permutation) ordering, returning x in the original ordering.
 func (f *Factors) SolveOriginal(b []float64) ([]float64, error) {
-	if len(b) != f.N {
-		return nil, fmt.Errorf("front: rhs length %d, want %d", len(b), f.N)
+	return SolveOriginalStore(f, f.Tree, f.Kind, b)
+}
+
+// SolveStore solves A x = b in the permuted index space by streaming the
+// factor blocks of the completed factorization out of st: the forward
+// substitution walks fronts in postorder, the backward substitution in
+// reverse postorder, each pass advising the store of its access order so
+// a file-backed store can prefetch sequentially. b is not modified.
+func SolveStore(st Store, tree *assembly.Tree, kind sparse.Type, b []float64) ([]float64, error) {
+	if st == nil {
+		return nil, fmt.Errorf("front: nil factor store")
 	}
-	perm := f.Tree.Perm
+	if len(b) != tree.N {
+		return nil, fmt.Errorf("front: rhs length %d, want %d", len(b), tree.N)
+	}
+	x := append([]float64(nil), b...)
+	post := tree.Postorder()
+	// Forward: y = L^{-1} b.
+	st.Prefetch(post)
+	for _, ni := range post {
+		nf, err := st.Fetch(ni)
+		if err != nil {
+			return nil, err
+		}
+		forwardNode(x, nf, kind)
+		st.Release(ni)
+	}
+	// Backward: x = U^{-1} y (or L^{-T} y).
+	rev := make([]int, len(post))
+	for i, ni := range post {
+		rev[len(post)-1-i] = ni
+	}
+	st.Prefetch(rev)
+	for _, ni := range rev {
+		nf, err := st.Fetch(ni)
+		if err != nil {
+			return nil, err
+		}
+		backwardNode(x, nf, kind)
+		st.Release(ni)
+	}
+	return x, nil
+}
+
+// SolveOriginalStore is SolveStore for a right-hand side given in the
+// *original* (pre-permutation) ordering, returning x in the original
+// ordering.
+func SolveOriginalStore(st Store, tree *assembly.Tree, kind sparse.Type, b []float64) ([]float64, error) {
+	if len(b) != tree.N {
+		return nil, fmt.Errorf("front: rhs length %d, want %d", len(b), tree.N)
+	}
+	perm := tree.Perm
 	if perm == nil {
-		return f.Solve(b)
+		return SolveStore(st, tree, kind, b)
 	}
 	pb := make([]float64, len(b))
 	for newI, oldI := range perm {
 		pb[newI] = b[oldI]
 	}
-	px, err := f.Solve(pb)
+	px, err := SolveStore(st, tree, kind, pb)
 	if err != nil {
 		return nil, err
 	}
@@ -119,6 +129,45 @@ func (f *Factors) SolveOriginal(b []float64) ([]float64, error) {
 		x[oldI] = px[newI]
 	}
 	return x, nil
+}
+
+// forwardNode applies one front's part of the forward substitution.
+func forwardNode(x []float64, nf *NodeFactor, kind sparse.Type) {
+	xl := gather(x, nf.Rows)
+	for k := 0; k < nf.NPiv; k++ {
+		if kind == sparse.Symmetric {
+			xl[k] /= nf.L.At(k, k)
+		}
+		v := xl[k]
+		if v == 0 {
+			continue
+		}
+		for i := k + 1; i < len(nf.Rows); i++ {
+			xl[i] -= nf.L.At(i, k) * v
+		}
+	}
+	scatter(x, nf.Rows, xl)
+}
+
+// backwardNode applies one front's part of the backward substitution.
+func backwardNode(x []float64, nf *NodeFactor, kind sparse.Type) {
+	xl := gather(x, nf.Rows)
+	for k := nf.NPiv - 1; k >= 0; k-- {
+		s := xl[k]
+		if kind == sparse.Symmetric {
+			// Row k of L^T = column k of L.
+			for i := k + 1; i < len(nf.Rows); i++ {
+				s -= nf.L.At(i, k) * xl[i]
+			}
+			xl[k] = s / nf.L.At(k, k)
+		} else {
+			for j := k + 1; j < len(nf.Rows); j++ {
+				s -= nf.U.At(k, j) * xl[j]
+			}
+			xl[k] = s / nf.U.At(k, k)
+		}
+	}
+	scatter(x, nf.Rows, xl)
 }
 
 func gather(x []float64, idx []int) []float64 {

@@ -1,0 +1,101 @@
+package front
+
+import (
+	"repro/internal/assembly"
+	"repro/internal/memory"
+	"repro/internal/sparse"
+)
+
+// Store owns completed factor blocks. The numeric executors hand every
+// front's factor pieces to a Store immediately after partial
+// factorization instead of keeping them in slices of their own; the
+// solve phases stream the blocks back through it. Two implementations
+// exist: *Factors in this package keeps everything in memory (the
+// classic in-core execution), and ooc.FileStore spills blocks to disk as
+// they are produced so only a bounded buffer stays resident.
+//
+// Put may be called concurrently for distinct nodes (the parallel
+// executor's workers each push their own blocks). The solve-phase calls
+// (Prefetch/Fetch/Release) are single-threaded: one solve at a time.
+type Store interface {
+	// SetMeter installs the executor's resident-memory meter. The store
+	// charges it for every block it currently holds in memory (and
+	// discharges blocks it no longer does, e.g. once spilled to disk), so
+	// the meter's peak is the true resident peak of fronts + CBs + factor
+	// blocks. Must be called before the first Put; a nil meter disables
+	// the accounting.
+	SetMeter(m *memory.Meter)
+	// Put transfers ownership of node ni's factor block to the store.
+	// entries is the block's size in model units (assembly.FactorEntries);
+	// the caller must not use nf afterwards. Put may block while the
+	// store's resident buffer is over budget.
+	Put(ni int, nf NodeFactor, entries int64) error
+	// Flush blocks until every block Put so far is durably owned by the
+	// store (for a file-backed store: written to the spill area). The
+	// executors call it once at the end of the factorization.
+	Flush() error
+	// Prefetch advises the store that subsequent Fetch calls will follow
+	// order, letting it stream blocks ahead of the solve walk. Advisory:
+	// Fetch stays correct in any order.
+	Prefetch(order []int)
+	// Fetch returns node ni's factor block for the solve phase. The block
+	// is valid until the matching Release.
+	Fetch(ni int) (*NodeFactor, error)
+	// Release ends the caller's use of the block returned by Fetch.
+	Release(ni int)
+	// Close releases the store's resources (spill files, goroutines).
+	Close() error
+}
+
+// ResolveStore is the store setup shared by the executors: a nil st
+// becomes a fresh in-memory Factors for the tree, a nil m becomes a
+// fresh Meter, and the meter is installed on the store before any Put
+// can happen. The returned *Factors is the in-memory container when the
+// store is (or wraps to) one, nil for external stores — executors expose
+// it for cross-validation.
+func ResolveStore(st Store, tree *assembly.Tree, kind sparse.Type, m *memory.Meter) (Store, *Factors, *memory.Meter) {
+	var fs *Factors
+	if st == nil {
+		fs = NewFactors(tree, kind)
+		st = fs
+	} else if f, ok := st.(*Factors); ok {
+		fs = f
+	}
+	if m == nil {
+		m = new(memory.Meter)
+	}
+	st.SetMeter(m)
+	return st, fs, m
+}
+
+// front.Factors is the in-memory Store: blocks live in the nodes slice
+// forever, so Flush/Prefetch/Release/Close are no-ops and the meter is
+// charged on Put and never discharged — its peak is the in-core total
+// peak (factors + stack + fronts).
+
+// SetMeter installs the resident meter charged on Put.
+func (f *Factors) SetMeter(m *memory.Meter) { f.meter = m }
+
+// Put stores node ni's factor block. Distinct nodes may be Put from
+// different goroutines without synchronization (the meter serializes
+// its own updates).
+func (f *Factors) Put(ni int, nf NodeFactor, entries int64) error {
+	f.nodes[ni] = nf
+	f.meter.Add(entries)
+	return nil
+}
+
+// Flush is a no-op: in-memory blocks are durable on Put.
+func (f *Factors) Flush() error { return nil }
+
+// Prefetch is a no-op: every block is already resident.
+func (f *Factors) Prefetch([]int) {}
+
+// Fetch returns node ni's factor block.
+func (f *Factors) Fetch(ni int) (*NodeFactor, error) { return &f.nodes[ni], nil }
+
+// Release is a no-op.
+func (f *Factors) Release(int) {}
+
+// Close is a no-op.
+func (f *Factors) Close() error { return nil }

@@ -1,0 +1,77 @@
+package memory
+
+import "sync"
+
+// ExecStats is the executor-independent summary of one numeric
+// factorization. The sequential executor (internal/seqmf), the
+// shared-memory parallel executor (internal/parmf) and the out-of-core
+// paths all report this shape, so runs are comparable field-by-field
+// across executors. All quantities are in model entries, the units of the
+// assembly cost model (triangles for symmetric matrices).
+type ExecStats struct {
+	FactorEntries int64 // total factor storage produced
+	PeakStack     int64 // peak of CB stack + active front (max over workers)
+	FinalStack    int64 // stack entries left at the end (root CBs; 0 normally)
+	Fronts        int   // number of fronts processed
+	MaxFront      int   // largest front order
+	AssemblyOps   int64 // extend-add operations
+
+	// ResidentPeak is the peak of everything actually held in memory at
+	// once — active fronts + stacked CBs + factor blocks still owned by
+	// the factor store. With the in-memory store factors never leave, so
+	// this is the in-core total peak (factors+stack+fronts); with a
+	// file-backed store blocks are discharged as they are spilled and the
+	// peak approaches the stack-only cost the paper argues for.
+	ResidentPeak int64
+}
+
+// Meter is a concurrency-safe gauge of resident memory (model entries)
+// with an exact peak: every delta is applied and the peak updated under
+// one lock, so concurrent contributors — worker goroutines allocating
+// fronts, the out-of-core writer discharging spilled blocks — cannot
+// miss a combined maximum between their updates.
+//
+// A nil *Meter is valid and ignores all operations, so call sites need
+// no guards.
+type Meter struct {
+	mu   sync.Mutex
+	cur  int64
+	peak int64
+}
+
+// Add applies a signed delta to the gauge and updates the peak.
+func (m *Meter) Add(d int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.cur += d
+	if m.cur < 0 {
+		m.mu.Unlock()
+		panic("memory: negative resident meter")
+	}
+	if m.cur > m.peak {
+		m.peak = m.cur
+	}
+	m.mu.Unlock()
+}
+
+// Cur returns the current gauge value.
+func (m *Meter) Cur() int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur
+}
+
+// Peak returns the maximum value the gauge has reached.
+func (m *Meter) Peak() int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}

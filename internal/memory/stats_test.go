@@ -1,0 +1,64 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMeterPeak(t *testing.T) {
+	var m Meter
+	m.Add(10)
+	m.Add(20)
+	m.Add(-15)
+	m.Add(5)
+	if got := m.Cur(); got != 20 {
+		t.Errorf("cur %d, want 20", got)
+	}
+	if got := m.Peak(); got != 30 {
+		t.Errorf("peak %d, want 30", got)
+	}
+}
+
+func TestMeterNilIsNoop(t *testing.T) {
+	var m *Meter
+	m.Add(5)
+	if m.Cur() != 0 || m.Peak() != 0 {
+		t.Error("nil meter not a no-op")
+	}
+}
+
+func TestMeterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative meter did not panic")
+		}
+	}()
+	var m Meter
+	m.Add(-1)
+}
+
+// TestMeterConcurrentExactPeak drives the meter from many goroutines in
+// balanced +x/-x pairs; the final value must be 0 and the peak at least
+// one pair's amplitude (the exactness argument: peaks are taken under the
+// same lock as the update, never reconstructed from racy reads).
+func TestMeterConcurrentExactPeak(t *testing.T) {
+	var m Meter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(amp int64) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Add(amp)
+				m.Add(-amp)
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	if m.Cur() != 0 {
+		t.Errorf("cur %d after balanced ops", m.Cur())
+	}
+	if m.Peak() < 8 {
+		t.Errorf("peak %d, want >= 8", m.Peak())
+	}
+}

@@ -1,0 +1,109 @@
+package ooc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/dense"
+	"repro/internal/front"
+)
+
+// The spill-file record format is a flat little-endian encoding of one
+// front.NodeFactor. Float values round-trip through their IEEE-754 bit
+// patterns, so a block read back is bitwise identical to the block
+// written — the out-of-core factorization stays exactly reproducible.
+//
+//	uint64  npiv
+//	uint64  nrows            (front order, len(Rows))
+//	uint64  hasU             (0 or 1)
+//	uint64  rows[nrows]      (global front indices)
+//	uint64  L[nrows*npiv]    (row-major float64 bits)
+//	uint64  U[npiv*nrows]    (only when hasU == 1)
+
+// appendBlock encodes nf onto buf and returns the extended slice.
+func appendBlock(buf []byte, nf *front.NodeFactor) []byte {
+	u64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	u64(uint64(nf.NPiv))
+	u64(uint64(len(nf.Rows)))
+	if nf.U != nil {
+		u64(1)
+	} else {
+		u64(0)
+	}
+	for _, r := range nf.Rows {
+		u64(uint64(r))
+	}
+	for _, v := range nf.L.A {
+		u64(math.Float64bits(v))
+	}
+	if nf.U != nil {
+		for _, v := range nf.U.A {
+			u64(math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+// decodeBlock parses one record. The buffer must hold exactly one block.
+func decodeBlock(buf []byte) (*front.NodeFactor, error) {
+	pos := 0
+	u64 := func() (uint64, error) {
+		if pos+8 > len(buf) {
+			return 0, fmt.Errorf("ooc: truncated record (%d of %d bytes)", pos, len(buf))
+		}
+		v := binary.LittleEndian.Uint64(buf[pos:])
+		pos += 8
+		return v, nil
+	}
+	npiv, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	nrows, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	hasU, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	if want := int64(8 * (3 + nrows + nrows*npiv + hasU*npiv*nrows)); want != int64(len(buf)) {
+		return nil, fmt.Errorf("ooc: record length %d, want %d (npiv %d, rows %d)",
+			len(buf), want, npiv, nrows)
+	}
+	nf := &front.NodeFactor{
+		Rows: make([]int, nrows),
+		NPiv: int(npiv),
+		L:    dense.New(int(nrows), int(npiv)),
+	}
+	for i := range nf.Rows {
+		v, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		nf.Rows[i] = int(v)
+	}
+	for i := range nf.L.A {
+		v, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		nf.L.A[i] = math.Float64frombits(v)
+	}
+	if hasU == 1 {
+		nf.U = dense.New(int(npiv), int(nrows))
+		for i := range nf.U.A {
+			v, err := u64()
+			if err != nil {
+				return nil, err
+			}
+			nf.U.A[i] = math.Float64frombits(v)
+		}
+	}
+	return nf, nil
+}

@@ -1,0 +1,458 @@
+// Package ooc is the out-of-core factor store: it realizes the paper's
+// concluding argument that factor entries are written once and never
+// reaccessed before the solve phase, so they can leave memory as soon as
+// they are produced and only the stack (contribution blocks + active
+// fronts) need stay resident.
+//
+// FileStore implements front.Store over a spill file. The factorization
+// side is a bounded producer/consumer: executor workers Put factor
+// blocks into a resident buffer (budget in model entries, the units of
+// the assembly cost model) and a background writer goroutine drains the
+// buffer to disk in arrival order, discharging each block from the
+// shared resident-memory meter the moment it is durable. Put blocks only
+// while the buffer is over budget, which is what bounds the resident
+// factor footprint; a block larger than the whole budget is still
+// admitted when the buffer is empty, so progress is always possible.
+//
+// The solve side streams blocks back: front.SolveStore announces its
+// access order (postorder, then reverse postorder) via Prefetch, and a
+// reader goroutine loads blocks ahead of the walk into a cache bounded
+// by the same entry budget. A Fetch that outruns the reader falls back
+// to a direct positioned read, so correctness never depends on the
+// prefetch keeping up. One solve may run at a time.
+//
+// Records round-trip float bits exactly (see codec.go), so an
+// out-of-core factorization is bitwise identical to the in-core one.
+package ooc
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/front"
+	"repro/internal/memory"
+)
+
+// Options configures a FileStore.
+type Options struct {
+	// Dir is the directory for the spill file ("" = os.TempDir()).
+	Dir string
+	// BufferEntries is the resident-buffer budget in model entries for
+	// both the write buffer and the solve-phase prefetch cache
+	// (0 = 1<<16 entries, i.e. 512 KiB of float64 payload).
+	BufferEntries int64
+	// Prefetch is the maximum number of blocks the solve-phase reader
+	// loads ahead of the walk (0 = 8).
+	Prefetch int
+}
+
+// Stats reports what the store did.
+type Stats struct {
+	Blocks       int   // factor blocks spilled
+	BytesWritten int64 // spill-file bytes
+	BufferPeak   int64 // peak resident write-buffer occupation (entries)
+	PutWaits     int64 // Put calls that blocked on the buffer budget
+	DirectReads  int64 // solve-phase Fetches served outside the prefetch stream
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("ooc: store closed")
+
+// rec locates one node's block in the spill file.
+type rec struct {
+	off     int64
+	size    int64
+	entries int64
+	ok      bool
+}
+
+// putReq is one block waiting for the writer.
+type putReq struct {
+	ni      int
+	nf      front.NodeFactor
+	entries int64
+}
+
+// FileStore is the file-backed front.Store. Create with NewFileStore and
+// Close when done (Close removes the spill file).
+type FileStore struct {
+	opt   Options
+	meter *memory.Meter
+	file  *os.File
+	path  string
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// Factorization side.
+	queue      []putReq // blocks waiting for the writer, FIFO
+	queued     int64    // entries in queue + the block being written
+	off        int64    // next spill-file offset
+	recs       []rec    // node -> spill location
+	writerDone bool
+	closed     bool
+	err        error
+	stats      Stats
+
+	// Solve side, reset by each Prefetch.
+	gen      int // prefetch generation; bumping it cancels the reader
+	cache    map[int]*front.NodeFactor
+	cached   int64         // entries in cache + handed out via Fetch
+	ahead    int           // blocks in cache (reader lookahead gauge)
+	consumed map[int]bool  // nodes already Fetched this generation
+	handed   map[int]int64 // node -> entries, Fetched but not Released
+}
+
+// NewFileStore creates the spill file and starts the writer goroutine.
+func NewFileStore(opt Options) (*FileStore, error) {
+	if opt.BufferEntries <= 0 {
+		opt.BufferEntries = 1 << 16
+	}
+	if opt.Prefetch <= 0 {
+		opt.Prefetch = 8
+	}
+	dir := opt.Dir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "ooc-factors-*.bin")
+	if err != nil {
+		return nil, fmt.Errorf("ooc: create spill file: %w", err)
+	}
+	s := &FileStore{
+		opt:      opt,
+		file:     f,
+		path:     f.Name(),
+		cache:    map[int]*front.NodeFactor{},
+		consumed: map[int]bool{},
+		handed:   map[int]int64{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.writer()
+	return s, nil
+}
+
+// Path returns the spill-file path (useful for diagnostics).
+func (s *FileStore) Path() string { return s.path }
+
+// Stats returns a snapshot of the store's counters.
+func (s *FileStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// SetMeter installs the shared resident meter. Blocks are charged on Put
+// (and when loaded back for the solve) and discharged once spilled (and
+// on Release). Call before the first Put.
+func (s *FileStore) SetMeter(m *memory.Meter) {
+	s.mu.Lock()
+	s.meter = m
+	s.mu.Unlock()
+}
+
+// Put hands node ni's factor block to the store. It blocks while the
+// write buffer is over budget and other blocks are still draining.
+func (s *FileStore) Put(ni int, nf front.NodeFactor, entries int64) error {
+	if ni < 0 {
+		return fmt.Errorf("ooc: negative node %d", ni)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	waited := false
+	for s.err == nil && !s.closed && s.queued > 0 && s.queued+entries > s.opt.BufferEntries {
+		if !waited {
+			s.stats.PutWaits++
+			waited = true
+		}
+		s.cond.Wait()
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	s.queued += entries
+	if s.queued > s.stats.BufferPeak {
+		s.stats.BufferPeak = s.queued
+	}
+	s.queue = append(s.queue, putReq{ni: ni, nf: nf, entries: entries})
+	s.meter.Add(entries)
+	s.cond.Broadcast()
+	return nil
+}
+
+// writer drains the put queue to the spill file in arrival order,
+// discharging each block from the meter once written.
+func (s *FileStore) writer() {
+	var buf []byte
+	s.mu.Lock()
+	for {
+		for len(s.queue) == 0 && !s.closed && s.err == nil {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 || s.err != nil {
+			// Closed (or poisoned) with nothing useful left: discard any
+			// stragglers so the meter balances, then exit.
+			for _, r := range s.queue {
+				s.queued -= r.entries
+				s.meter.Add(-r.entries)
+			}
+			s.queue = nil
+			s.writerDone = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		r := s.queue[0]
+		s.queue = s.queue[1:]
+		off := s.off
+		s.mu.Unlock()
+
+		buf = appendBlock(buf[:0], &r.nf)
+		_, werr := s.file.WriteAt(buf, off)
+
+		s.mu.Lock()
+		if werr != nil && s.err == nil {
+			s.err = fmt.Errorf("ooc: spill write: %w", werr)
+		}
+		if s.err == nil {
+			s.setRec(r.ni, rec{off: off, size: int64(len(buf)), entries: r.entries, ok: true})
+			s.off = off + int64(len(buf))
+			s.stats.Blocks++
+			s.stats.BytesWritten += int64(len(buf))
+		}
+		s.queued -= r.entries
+		s.meter.Add(-r.entries)
+		s.cond.Broadcast()
+	}
+}
+
+// setRec grows the index as needed; callers hold s.mu.
+func (s *FileStore) setRec(ni int, r rec) {
+	for ni >= len(s.recs) {
+		s.recs = append(s.recs, rec{})
+	}
+	s.recs[ni] = r
+}
+
+// getRec returns node ni's spill location; callers hold s.mu.
+func (s *FileStore) getRec(ni int) (rec, bool) {
+	if ni < 0 || ni >= len(s.recs) || !s.recs[ni].ok {
+		return rec{}, false
+	}
+	return s.recs[ni], true
+}
+
+// Flush blocks until every block Put so far is on disk, then syncs the
+// spill file.
+func (s *FileStore) Flush() error {
+	s.mu.Lock()
+	for s.err == nil && !s.closed && s.queued > 0 {
+		s.cond.Wait()
+	}
+	err := s.err
+	closed := s.closed
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if closed {
+		return ErrClosed
+	}
+	return s.file.Sync()
+}
+
+// Prefetch starts streaming blocks in the given order into the solve
+// cache, cancelling any previous prefetch and resetting the per-pass
+// consumed set (the backward pass re-reads every block the forward pass
+// already used).
+func (s *FileStore) Prefetch(order []int) {
+	s.mu.Lock()
+	s.gen++
+	gen := s.gen
+	s.dropCacheLocked()
+	s.consumed = make(map[int]bool, len(order))
+	s.mu.Unlock()
+	ord := append([]int(nil), order...)
+	go s.reader(gen, ord)
+}
+
+// dropCacheLocked discards un-Fetched cached blocks, crediting the meter;
+// blocks handed out via Fetch stay charged until Release.
+func (s *FileStore) dropCacheLocked() {
+	for ni, nf := range s.cache {
+		e := blockEntries(nf)
+		s.cached -= e
+		s.meter.Add(-e)
+		delete(s.cache, ni)
+	}
+	s.ahead = 0
+	s.cond.Broadcast()
+}
+
+// blockEntries is the cache-accounting size of a loaded block. The codec
+// stores full rectangles, so this over-counts symmetric model entries
+// slightly; being conservative only tightens the budget.
+func blockEntries(nf *front.NodeFactor) int64 {
+	n := int64(len(nf.L.A))
+	if nf.U != nil {
+		n += int64(len(nf.U.A))
+	}
+	return n
+}
+
+// reader is the solve-phase prefetcher for one generation: it loads
+// blocks in walk order into the cache, bounded by the entry budget and
+// the lookahead cap, and stops as soon as the generation is stale.
+func (s *FileStore) reader(gen int, order []int) {
+	for _, ni := range order {
+		s.mu.Lock()
+		if s.gen != gen || s.closed || s.err != nil {
+			s.mu.Unlock()
+			return
+		}
+		if s.consumed[ni] || s.cache[ni] != nil {
+			s.mu.Unlock()
+			continue
+		}
+		r, ok := s.getRec(ni)
+		if !ok {
+			s.mu.Unlock()
+			continue
+		}
+		for s.gen == gen && !s.closed && s.err == nil && s.cached > 0 &&
+			(s.cached+r.entries > s.opt.BufferEntries || s.ahead >= s.opt.Prefetch) {
+			s.cond.Wait()
+		}
+		if s.gen != gen || s.closed || s.err != nil {
+			s.mu.Unlock()
+			return
+		}
+		if s.consumed[ni] {
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+
+		nf, err := s.readBlock(r)
+
+		s.mu.Lock()
+		if err != nil {
+			if s.err == nil {
+				s.err = err
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		if s.gen == gen && !s.consumed[ni] {
+			e := blockEntries(nf)
+			s.cache[ni] = nf
+			s.cached += e
+			s.meter.Add(e)
+			s.ahead++
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// readBlock does one positioned read + decode (no lock held).
+func (s *FileStore) readBlock(r rec) (*front.NodeFactor, error) {
+	buf := make([]byte, r.size)
+	if _, err := s.file.ReadAt(buf, r.off); err != nil {
+		return nil, fmt.Errorf("ooc: spill read: %w", err)
+	}
+	return decodeBlock(buf)
+}
+
+// Fetch returns node ni's factor block, from the prefetch cache when the
+// reader got there first and by direct read otherwise. It never blocks
+// on the reader.
+func (s *FileStore) Fetch(ni int) (*front.NodeFactor, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.consumed[ni] = true
+	if nf := s.cache[ni]; nf != nil {
+		delete(s.cache, ni)
+		s.ahead--
+		// Stays charged (cached includes handed-out blocks) until Release.
+		s.handed[ni] = blockEntries(nf)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return nf, nil
+	}
+	r, ok := s.getRec(ni)
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("ooc: no factor block for node %d (factorization incomplete or not flushed)", ni)
+	}
+	s.stats.DirectReads++
+	s.mu.Unlock()
+
+	nf, err := s.readBlock(r)
+	if err != nil {
+		return nil, err
+	}
+	e := blockEntries(nf)
+	s.mu.Lock()
+	s.handed[ni] = e
+	s.cached += e
+	s.meter.Add(e)
+	s.mu.Unlock()
+	return nf, nil
+}
+
+// Release ends the caller's use of a Fetched block, crediting the cache
+// budget and the meter.
+func (s *FileStore) Release(ni int) {
+	s.mu.Lock()
+	if e, ok := s.handed[ni]; ok {
+		delete(s.handed, ni)
+		s.cached -= e
+		s.meter.Add(-e)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Close stops the writer and reader, discharges everything still
+// resident, closes and removes the spill file. It is safe to call after
+// an aborted factorization (pending blocks are discarded).
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.gen++ // cancel any reader
+	s.cond.Broadcast()
+	for !s.writerDone {
+		s.cond.Wait()
+	}
+	s.dropCacheLocked()
+	for ni, e := range s.handed {
+		delete(s.handed, ni)
+		s.cached -= e
+		s.meter.Add(-e)
+	}
+	s.mu.Unlock()
+	err := s.file.Close()
+	if rmErr := os.Remove(s.path); err == nil {
+		err = rmErr
+	}
+	return err
+}

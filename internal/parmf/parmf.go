@@ -26,6 +26,14 @@
 // worker in deterministic child order, the factors are bitwise identical to
 // seqmf's regardless of worker count or interleaving; scheduling only
 // changes memory shape and wall-clock time.
+//
+// Factor blocks are owned by a front.Store: each worker pushes its blocks
+// into the store the moment they are extracted (Config.Store; the default
+// keeps them in memory). With an out-of-core store (internal/ooc) a
+// block's memory is released as soon as the background writer has spilled
+// it, so the measured resident peak (Stats.ResidentPeak, tracked by a
+// meter shared between the workers and the store) approaches the
+// stack-only cost the paper's schedules minimize.
 package parmf
 
 import (
@@ -84,6 +92,12 @@ type Config struct {
 	// subtree work (taken unconditionally, step 1); SubtreeRoots members
 	// are always treated so.
 	InSubtree func(node int) bool
+	// Store receives each front's factor block the moment it is
+	// extracted; nil keeps factors in memory (front.Factors).
+	Store front.Store
+	// Meter, when non-nil, replaces the internal resident-memory meter —
+	// pass one to share accounting with an enclosing measurement.
+	Meter *memory.Meter
 }
 
 // DefaultConfig returns the standard settings for the given worker count.
@@ -92,15 +106,13 @@ func DefaultConfig(workers int) Config {
 }
 
 // Stats records memory and work, in the units of the assembly cost model.
-// The first six fields match seqmf.Stats (see Seq) so a one-worker run can
-// be compared field-by-field with the sequential executor.
+// The embedded ExecStats matches seqmf.Stats (see Seq) so a one-worker run
+// can be compared field-by-field with the sequential executor; PeakStack
+// is the max over workers of the (CB stack + active front) peak, and
+// ResidentPeak is the whole-process resident peak (all workers' fronts
+// and CBs plus store-owned factor blocks, under one shared meter).
 type Stats struct {
-	FactorEntries int64 // total factor storage
-	PeakStack     int64 // max over workers of the (CB stack + active front) peak
-	FinalStack    int64 // stack entries left at the end (root CBs; 0 normally)
-	Fronts        int   // number of fronts processed
-	MaxFront      int   // largest front order
-	AssemblyOps   int64 // extend-add operations
+	memory.ExecStats
 
 	Workers          int
 	Tasks            int     // scheduled tasks (subtrees + upper nodes)
@@ -113,16 +125,7 @@ type Stats struct {
 }
 
 // Seq returns the seqmf-comparable subset of the stats.
-func (s Stats) Seq() seqmf.Stats {
-	return seqmf.Stats{
-		FactorEntries: s.FactorEntries,
-		PeakStack:     s.PeakStack,
-		FinalStack:    s.FinalStack,
-		Fronts:        s.Fronts,
-		MaxFront:      s.MaxFront,
-		AssemblyOps:   s.AssemblyOps,
-	}
-}
+func (s Stats) Seq() seqmf.Stats { return s.ExecStats }
 
 // Factors holds the parallel numeric factorization.
 type Factors struct {
@@ -131,19 +134,33 @@ type Factors struct {
 	N     int
 	Stats Stats
 
-	fs *front.Factors
+	store front.Store
+	fs    *front.Factors // non-nil when store is the in-memory one
 }
 
-// Front exposes the underlying per-node factor container (cross-validation
-// against seqmf compares node factors through it).
+// Front exposes the in-memory per-node factor container (cross-validation
+// against seqmf compares node factors through it); nil when the
+// factorization ran into an external store.
 func (f *Factors) Front() *front.Factors { return f.fs }
+
+// Store returns the factor store the blocks live in.
+func (f *Factors) Store() front.Store { return f.store }
+
+// Close releases the factor store (for a file-backed store: the spill
+// file). The factors are unusable afterwards.
+func (f *Factors) Close() error {
+	if f.store == nil {
+		return nil
+	}
+	return f.store.Close()
+}
 
 // Solve solves A x = b in the permuted index space. b is not modified.
 func (f *Factors) Solve(b []float64) ([]float64, error) {
 	if len(b) != f.N {
 		return nil, fmt.Errorf("parmf: rhs length %d, want %d", len(b), f.N)
 	}
-	return f.fs.Solve(b)
+	return front.SolveStore(f.store, f.Tree, f.Kind, b)
 }
 
 // SolveOriginal solves for a right-hand side in the original ordering.
@@ -151,7 +168,7 @@ func (f *Factors) SolveOriginal(b []float64) ([]float64, error) {
 	if len(b) != f.N {
 		return nil, fmt.Errorf("parmf: rhs length %d, want %d", len(b), f.N)
 	}
-	return f.fs.SolveOriginal(b)
+	return front.SolveOriginalStore(f.store, f.Tree, f.Kind, b)
 }
 
 // state is the scheduling state shared by all workers, guarded by mu.
@@ -212,8 +229,9 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 		Tree: tree,
 		Kind: pa.Kind,
 		N:    pa.N,
-		fs:   front.NewFactors(tree, pa.Kind),
 	}
+	var meter *memory.Meter
+	f.store, f.fs, meter = front.ResolveStore(cfg.Store, tree, pa.Kind, cfg.Meter)
 	st := &state{
 		unfin:   make([]int, tree.Len()),
 		cbs:     make([]*dense.Matrix, tree.Len()),
@@ -257,7 +275,7 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 		go func(id int) {
 			defer wg.Done()
 			worker{id: id, cfg: cfg, sh: sh, st: st, pl: pl, tracker: tracker,
-				out: f.fs, asm: front.NewAssembler(sh)}.run()
+				out: f.store, meter: meter, asm: front.NewAssembler(sh)}.run()
 		}(w)
 	}
 	wg.Wait()
@@ -265,7 +283,11 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 	if st.err != nil {
 		return nil, st.err
 	}
+	if err := f.store.Flush(); err != nil {
+		return nil, fmt.Errorf("parmf: flush factor store: %w", err)
+	}
 	f.Stats = st.stats
+	f.Stats.ResidentPeak = meter.Peak()
 	for w := 0; w < cfg.Workers; w++ {
 		f.Stats.WorkerPeaks = append(f.Stats.WorkerPeaks, tracker.ActivePeak(w))
 		f.Stats.WorkerStackPeaks = append(f.Stats.WorkerStackPeaks, tracker.StackPeak(w))
@@ -330,7 +352,8 @@ type worker struct {
 	st      *state
 	pl      *plan
 	tracker *memory.SafeTracker
-	out     *front.Factors
+	out     front.Store
+	meter   *memory.Meter
 	asm     *front.Assembler
 }
 
@@ -500,6 +523,7 @@ func (w worker) processNode(ni int, r *taskResult) error {
 
 	fe := assembly.FrontEntries(nd, tree.Kind)
 	w.tracker.AllocFront(w.id, fe)
+	w.meter.Add(fe)
 	fr := dense.New(nf, nf)
 	if err := w.asm.Scatter(ni, fr); err != nil {
 		return err
@@ -517,7 +541,9 @@ func (w worker) processNode(ni int, r *taskResult) error {
 		if owner != w.id {
 			r.consumedForeign = true
 		}
-		w.tracker.PopCB(owner, assembly.CBEntries(&tree.Nodes[c], tree.Kind))
+		ce := assembly.CBEntries(&tree.Nodes[c], tree.Kind)
+		w.tracker.PopCB(owner, ce)
+		w.meter.Add(-ce)
 		w.st.cbs[c] = nil
 	}
 
@@ -525,20 +551,28 @@ func (w worker) processNode(ni int, r *taskResult) error {
 		return fmt.Errorf("parmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
 	}
 
-	w.out.SetNode(ni, front.ExtractFactor(fr, rows, npiv, tree.Kind))
-	w.tracker.AddFactors(w.id, assembly.FactorEntries(nd, tree.Kind))
+	// The block becomes store-owned (an out-of-core store releases its
+	// memory once the background writer has spilled it; Put may briefly
+	// block this worker while the write buffer is over budget).
+	facE := assembly.FactorEntries(nd, tree.Kind)
+	if err := w.out.Put(ni, front.ExtractFactor(fr, rows, npiv, tree.Kind), facE); err != nil {
+		return fmt.Errorf("parmf: node %d: %w", ni, err)
+	}
+	w.tracker.AddFactors(w.id, facE)
 	w.tracker.FreeFront(w.id, fe)
+	w.meter.Add(-fe)
 
 	if cb := front.ExtractCB(fr, npiv, nd.NCB(), tree.Kind); cb != nil {
 		w.st.cbs[ni] = cb
 		w.st.cbOwner[ni] = w.id
 		w.tracker.PushCB(w.id, assembly.CBEntries(nd, tree.Kind))
+		w.meter.Add(assembly.CBEntries(nd, tree.Kind))
 	}
 
 	r.fronts++
 	if nf > r.maxFront {
 		r.maxFront = nf
 	}
-	r.factorEntries += assembly.FactorEntries(nd, tree.Kind)
+	r.factorEntries += facE
 	return nil
 }

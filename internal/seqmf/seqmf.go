@@ -10,6 +10,12 @@
 // shared-memory parallel executor internal/parmf; this package contributes
 // the postorder walk and the single-stack memory accounting.
 //
+// Factor blocks are owned by a front.Store, not by this package: the
+// default in-memory store keeps them all resident (classic in-core
+// execution), while an ooc.FileStore spills each block to disk as soon as
+// it is produced, so only the stack stays in memory — the paper's
+// out-of-core execution model. Stats.ResidentPeak measures the difference.
+//
 // Symmetric positive definite matrices use partial Cholesky; unsymmetric
 // matrices use partial LU on the symmetrized structure. Pivoting is static
 // (see dense.ErrSmallPivot).
@@ -21,19 +27,14 @@ import (
 	"repro/internal/assembly"
 	"repro/internal/dense"
 	"repro/internal/front"
+	"repro/internal/memory"
 	"repro/internal/sparse"
 )
 
-// Stats records the memory and work of a factorization, in the same units
-// as the assembly cost model (logical entries: triangles for symmetric).
-type Stats struct {
-	FactorEntries int64 // total factor storage
-	PeakStack     int64 // peak of CB stack + active front
-	FinalStack    int64 // stack entries left at the end (root CBs; 0 normally)
-	Fronts        int   // number of fronts processed
-	MaxFront      int   // largest front order
-	AssemblyOps   int64 // extend-add operations
-}
+// Stats records the memory and work of a factorization in the
+// executor-independent format shared with internal/parmf, in the units
+// of the assembly cost model (logical entries: triangles for symmetric).
+type Stats = memory.ExecStats
 
 // Factors holds the numeric factorization.
 type Factors struct {
@@ -42,16 +43,37 @@ type Factors struct {
 	N     int
 	Stats Stats
 
-	fs *front.Factors
+	store front.Store
+	fs    *front.Factors // non-nil when store is the in-memory one
 }
 
-// Front exposes the underlying per-node factor container (used by the
-// parallel executor's cross-validation tests).
+// Front exposes the in-memory per-node factor container (used by the
+// parallel executor's cross-validation tests); nil when the
+// factorization ran into an external store.
 func (f *Factors) Front() *front.Factors { return f.fs }
+
+// Store returns the factor store the blocks live in.
+func (f *Factors) Store() front.Store { return f.store }
+
+// Close releases the factor store (for a file-backed store: the spill
+// file). The factors are unusable afterwards.
+func (f *Factors) Close() error {
+	if f.store == nil {
+		return nil
+	}
+	return f.store.Close()
+}
 
 // Options configures the numeric factorization.
 type Options struct {
-	PivotTol float64 // minimum pivot magnitude for LU
+	// PivotTol is the minimum pivot magnitude for LU.
+	PivotTol float64
+	// Store receives each front's factor block the moment it is
+	// extracted; nil keeps factors in memory (front.Factors).
+	Store front.Store
+	// Meter, when non-nil, replaces the internal resident-memory meter —
+	// pass one to share accounting with an enclosing measurement.
+	Meter *memory.Meter
 }
 
 // DefaultOptions returns the standard settings.
@@ -68,8 +90,9 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		Tree: tree,
 		Kind: pa.Kind,
 		N:    pa.N,
-		fs:   front.NewFactors(tree, pa.Kind),
 	}
+	var meter *memory.Meter
+	f.store, f.fs, meter = front.ResolveStore(opt.Store, tree, pa.Kind, opt.Meter)
 	asm := front.NewAssembler(sh)
 
 	cbs := make([]*dense.Matrix, tree.Len()) // live contribution blocks
@@ -88,6 +111,7 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 
 		fr := dense.New(nf, nf)
 		frontEntries := assembly.FrontEntries(nd, tree.Kind)
+		meter.Add(frontEntries)
 		bump(stack + frontEntries)
 
 		if err := asm.Scatter(ni, fr); err != nil {
@@ -103,7 +127,9 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 			f.Stats.AssemblyOps += ops
 		}
 		for _, c := range nd.Children {
-			stack -= assembly.CBEntries(&tree.Nodes[c], tree.Kind)
+			ce := assembly.CBEntries(&tree.Nodes[c], tree.Kind)
+			stack -= ce
+			meter.Add(-ce)
 			cbs[c] = nil
 		}
 		bump(stack + frontEntries)
@@ -113,21 +139,33 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 			return nil, fmt.Errorf("seqmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
 		}
 
-		f.fs.SetNode(ni, front.ExtractFactor(fr, rows, npiv, pa.Kind))
-		f.Stats.FactorEntries += assembly.FactorEntries(nd, tree.Kind)
+		// The factor block becomes store-owned: resident until the store
+		// lets go of it (never for in-memory, once spilled for OOC).
+		fe := assembly.FactorEntries(nd, tree.Kind)
+		if err := f.store.Put(ni, front.ExtractFactor(fr, rows, npiv, pa.Kind), fe); err != nil {
+			return nil, fmt.Errorf("seqmf: node %d: %w", ni, err)
+		}
+		f.Stats.FactorEntries += fe
 		f.Stats.Fronts++
 		if nf > f.Stats.MaxFront {
 			f.Stats.MaxFront = nf
 		}
+		meter.Add(-frontEntries)
 
 		// Stack the contribution block.
 		if cb := front.ExtractCB(fr, npiv, nd.NCB(), tree.Kind); cb != nil {
 			cbs[ni] = cb
-			stack += assembly.CBEntries(nd, tree.Kind)
+			ce := assembly.CBEntries(nd, tree.Kind)
+			stack += ce
+			meter.Add(ce)
 			bump(stack)
 		}
 	}
 	f.Stats.FinalStack = stack
+	if err := f.store.Flush(); err != nil {
+		return nil, fmt.Errorf("seqmf: flush factor store: %w", err)
+	}
+	f.Stats.ResidentPeak = meter.Peak()
 	return f, nil
 }
 
@@ -138,7 +176,7 @@ func (f *Factors) Solve(b []float64) ([]float64, error) {
 	if len(b) != f.N {
 		return nil, fmt.Errorf("seqmf: rhs length %d, want %d", len(b), f.N)
 	}
-	return f.fs.Solve(b)
+	return front.SolveStore(f.store, f.Tree, f.Kind, b)
 }
 
 // SolveOriginal solves for a right-hand side given in the *original*
@@ -147,5 +185,5 @@ func (f *Factors) SolveOriginal(b []float64) ([]float64, error) {
 	if len(b) != f.N {
 		return nil, fmt.Errorf("seqmf: rhs length %d, want %d", len(b), f.N)
 	}
-	return f.fs.SolveOriginal(b)
+	return front.SolveOriginalStore(f.store, f.Tree, f.Kind, b)
 }
