@@ -505,6 +505,57 @@ func BenchmarkSequentialFactorization(b *testing.B) {
 	}
 }
 
+// BenchmarkNodeParallel measures the within-front (type-2) parallel path:
+// the hybrid executor (tree tasks + master/slave row-block tasks) against
+// the sequential blocked baseline on the two largest-front problems of the
+// suite, at 1, 2 and 8 workers. It reports speedup_x (hardware-dependent:
+// ~1x on a single core, >1x at 8 workers on multicore where the big
+// root-dominated fronts actually fan out), split_fronts and slave_tasks —
+// the perf trajectory BENCH_*.json tracks for this subsystem. Factors are
+// bitwise identical to the sequential ones at every worker count.
+func BenchmarkNodeParallel(b *testing.B) {
+	for _, name := range []string{"BMWCRA_1", "ULTRASOUND3"} {
+		p, err := workload.ByName(workload.Suite(), name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := p.Matrix()
+		an, err := core.Analyze(a, core.DefaultConfig(order.ND, 8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Sequential blocked baseline, amortized for stability.
+		t0 := time.Now()
+		reps := 0
+		for time.Since(t0) < 500*time.Millisecond {
+			if _, err := an.Factorize(); err != nil {
+				b.Fatal(err)
+			}
+			reps++
+		}
+		seqPerOp := time.Since(t0) / time.Duration(reps)
+
+		for _, workers := range []int{1, 2, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				var splits int
+				var slaves int64
+				for b.Loop() {
+					f, err := an.FactorizeParallel(parmf.DefaultConfig(workers))
+					if err != nil {
+						b.Fatal(err)
+					}
+					splits = f.Stats.SplitFronts
+					slaves = f.Stats.SlaveTasks
+				}
+				perOp := b.Elapsed() / time.Duration(b.N)
+				b.ReportMetric(float64(seqPerOp)/float64(perOp), "speedup_x")
+				b.ReportMetric(float64(splits), "split_fronts")
+				b.ReportMetric(float64(slaves), "slave_tasks")
+			})
+		}
+	}
+}
+
 // BenchmarkParallelSpeedup measures the real shared-memory parallel
 // executor (internal/parmf) against the sequential one on the largest
 // symmetric problem at reproduction scale, reporting wall-clock speedup and

@@ -9,7 +9,7 @@
 //
 //	oocfactor -matrix NAME|-mm FILE [-ordering METIS|PORD|AMD|AMF|RCM]
 //	          [-workers W] [-budget ENTRIES] [-dir DIR] [-prefetch N]
-//	          [-split N] [-small]
+//	          [-split N] [-front-split N] [-block-rows N] [-small]
 //
 // -workers 1 uses the sequential executor on both sides; higher counts
 // use the shared-memory parallel executor. The solve results of the two
@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dense"
 	"repro/internal/metrics"
 	"repro/internal/ooc"
 	"repro/internal/order"
@@ -66,11 +67,19 @@ func main() {
 	dir := flag.String("dir", "", "spill directory (default: system temp dir)")
 	prefetch := flag.Int("prefetch", 0, "solve-phase read-ahead in blocks (0 = 8)")
 	split := flag.Int64("split", 0, "split masters larger than this many entries (0 = off)")
+	frontSplit := flag.Int("front-split", 128, "factor fronts at least this large via within-front master/slave tasks")
+	blockRows := flag.Int("block-rows", dense.DefaultBlockRows, "panel width / row-block height of the blocked kernels and 1D partition")
 	small := flag.Bool("small", false, "use the reduced (test-scale) suite")
 	flag.Parse()
 
 	if *workers < 1 {
 		log.Fatalf("-workers must be >= 1 (got %d)", *workers)
+	}
+	if *frontSplit < 1 {
+		log.Fatalf("-front-split must be >= 1 (got %d)", *frontSplit)
+	}
+	if *blockRows < 1 {
+		log.Fatalf("-block-rows must be >= 1 (got %d)", *blockRows)
 	}
 
 	var a *sparse.CSC
@@ -110,6 +119,8 @@ func main() {
 	}
 	cfg := core.DefaultConfig(m, *workers)
 	cfg.SplitThreshold = *split
+	cfg.FrontSplit = *frontSplit
+	cfg.BlockRows = *blockRows
 	cfg.OOC = ooc.Options{Dir: *dir, BufferEntries: *budget, Prefetch: *prefetch}
 	an, err := core.Analyze(a, cfg)
 	if err != nil {

@@ -7,6 +7,7 @@
 //
 //	parfactor -matrix NAME|-mm FILE [-ordering METIS|PORD|AMD|AMF|RCM]
 //	          [-workers W] [-policy memory|depthfirst] [-split N]
+//	          [-front-split N] [-block-rows N] [-slaves memory|workload]
 //	          [-bound ENTRIES] [-seq] [-small]
 //
 // -matrix selects a problem from the paper's Table-1 suite by name
@@ -14,6 +15,16 @@
 // values); -mm reads a MatrixMarket file instead. With -seq the sequential
 // factorization also runs, and the tool prints the wall-clock speedup and
 // the factor cross-validation result.
+//
+// -front-split and -block-rows control the within-front (type-2) parallel
+// path: fronts of at least -front-split rows are factored as a master task
+// plus slave row-block tasks of -block-rows rows each, with the slave set
+// chosen by -slaves (Algorithm 1 of the paper, or the MUMPS workload
+// baseline). The factors never depend on these knobs — the partition is a
+// pure function of the front and the blocked kernels are bitwise identical
+// to the element-wise ones — only wall-clock time and the per-worker
+// memory shape do. Set -front-split larger than the largest front to
+// disable splitting.
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dense"
 	"repro/internal/order"
 	"repro/internal/parmf"
 	"repro/internal/sparse"
@@ -60,6 +72,9 @@ func main() {
 	workers := flag.Int("workers", 8, "worker goroutine count")
 	policy := flag.String("policy", "memory", "task selection: memory (Algorithm 2) or depthfirst")
 	split := flag.Int64("split", 0, "split masters larger than this many entries (0 = off)")
+	frontSplit := flag.Int("front-split", 128, "factor fronts at least this large via within-front master/slave tasks")
+	blockRows := flag.Int("block-rows", dense.DefaultBlockRows, "panel width / row-block height of the blocked kernels and 1D partition")
+	slaves := flag.String("slaves", "memory", "slave selection for split fronts: memory (Algorithm 1) or workload")
 	bound := flag.Int64("bound", 0, "per-worker memory bound in entries (0 = sequential peak)")
 	seq := flag.Bool("seq", false, "also run seqmf: report speedup and cross-validate factors")
 	small := flag.Bool("small", false, "use the reduced (test-scale) suite")
@@ -67,6 +82,12 @@ func main() {
 
 	if *workers < 1 {
 		log.Fatalf("-workers must be >= 1 (got %d)", *workers)
+	}
+	if *frontSplit < 1 {
+		log.Fatalf("-front-split must be >= 1 (got %d)", *frontSplit)
+	}
+	if *blockRows < 1 {
+		log.Fatalf("-block-rows must be >= 1 (got %d)", *blockRows)
 	}
 
 	var a *sparse.CSC
@@ -106,6 +127,8 @@ func main() {
 	}
 	cfg := core.DefaultConfig(m, *workers)
 	cfg.SplitThreshold = *split
+	cfg.FrontSplit = *frontSplit
+	cfg.BlockRows = *blockRows
 	an, err := core.Analyze(a, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -125,6 +148,14 @@ func main() {
 	default:
 		log.Fatalf("unknown policy %q", *policy)
 	}
+	switch strings.ToLower(*slaves) {
+	case "memory":
+		pcfg.SlavePolicy = parmf.SlavesMemory
+	case "workload":
+		pcfg.SlavePolicy = parmf.SlavesWorkload
+	default:
+		log.Fatalf("unknown slave policy %q", *slaves)
+	}
 
 	t0 := time.Now()
 	pf, err := an.FactorizeParallel(pcfg)
@@ -140,6 +171,8 @@ func main() {
 		fmt.Printf("  worker %-2d        peak %d entries (stack-only %d)\n", w, p, s.WorkerStackPeaks[w])
 	}
 	fmt.Printf("  deviations %d, waits %d, forced %d\n", s.Deviations, s.Waits, s.Forced)
+	fmt.Printf("  within-front     %d split fronts, %d slave tasks (%d stolen), slaves=%v, block-rows=%d\n",
+		s.SplitFronts, s.SlaveTasks, s.SlaveSteals, pcfg.SlavePolicy, *blockRows)
 
 	rng := rand.New(rand.NewSource(1))
 	b := make([]float64, a.N)

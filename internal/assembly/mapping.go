@@ -74,6 +74,19 @@ type MapOptions struct {
 	Type3MinFront int
 }
 
+// DefaultType2MinFront is the derived type-2 classification threshold Map
+// applies when MapOptions.Type2MinFront is unset: fronts of at least an
+// eighth of the largest front (floored at 32) use 1D row-block
+// parallelism. The real executor reuses it to decide which fronts run
+// through the within-front master/slave path.
+func DefaultType2MinFront(maxFront int) int {
+	t := maxFront / 8
+	if t < 32 {
+		t = 32
+	}
+	return t
+}
+
 // DefaultMapOptions mirrors MUMPS-like settings: thresholds adapt to the
 // tree so that the large upper fronts are type 2 regardless of problem
 // scale.
@@ -115,10 +128,7 @@ func Map(t *Tree, opt MapOptions) *Mapping {
 		}
 	}
 	if opt.Type2MinFront <= 0 {
-		opt.Type2MinFront = maxFront / 8
-		if opt.Type2MinFront < 32 {
-			opt.Type2MinFront = 32
-		}
+		opt.Type2MinFront = DefaultType2MinFront(maxFront)
 	}
 	if opt.Type3MinFront <= 0 {
 		opt.Type3MinFront = maxFront / 2

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/assembly"
+	"repro/internal/dense"
 	"repro/internal/etree"
 	"repro/internal/ooc"
 	"repro/internal/order"
@@ -40,6 +41,17 @@ type Config struct {
 	SplitMinPiv int
 	// Procs is the simulated processor count.
 	Procs int
+	// FrontSplit: fronts of at least this order (outside leaf subtrees)
+	// factor through the within-front (type-2) master/slave path of the
+	// parallel executor. 0 derives the static mapping's type-2
+	// classification threshold from the tree; negative disables
+	// within-front parallelism. The factors never depend on it.
+	FrontSplit int
+	// BlockRows is the panel width / row-block height of the blocked
+	// dense kernels and of the within-front 1D partition, for both
+	// executors. 0 uses dense.DefaultBlockRows; negative selects the
+	// element-wise reference kernels (bitwise-identical, slower).
+	BlockRows int
 	// MapOptions overrides the static mapping (zero value = defaults).
 	MapOptions assembly.MapOptions
 	// Params is the simulated machine model (zero value = defaults).
@@ -147,22 +159,72 @@ func (an *Analysis) WithSplit(threshold int64, minPiv int) (*Analysis, error) {
 	}, nil
 }
 
-// Factorize runs the sequential numeric factorization (real LU/Cholesky).
-// The matrix must carry values.
+// Factorize runs the sequential numeric factorization (real LU/Cholesky)
+// through the blocked dense kernels (Config.BlockRows) — the same numeric
+// path the parallel executor uses, bitwise identical to the element-wise
+// kernels. The matrix must carry values.
 func (an *Analysis) Factorize() (*seqmf.Factors, error) {
-	return seqmf.Factorize(an.Permuted, an.Tree, seqmf.DefaultOptions())
+	opt := seqmf.DefaultOptions()
+	opt.BlockRows = an.blockRows()
+	return seqmf.Factorize(an.Permuted, an.Tree, opt)
+}
+
+// blockRows resolves Config.BlockRows: explicit, default, or 0 for the
+// element-wise kernels.
+func (an *Analysis) blockRows() int {
+	switch {
+	case an.Config.BlockRows > 0:
+		return an.Config.BlockRows
+	case an.Config.BlockRows < 0:
+		return 0
+	}
+	return dense.DefaultBlockRows
+}
+
+// FrontSplitThreshold resolves Config.FrontSplit against the tree: the
+// explicit threshold, the static mapping's type-2 classification
+// threshold (Config.FrontSplit == 0 — an explicit
+// MapOptions.Type2MinFront included, so the executor splits exactly the
+// fronts the mapping classifies as type 2), or 0 when within-front
+// parallelism is disabled (negative).
+func (an *Analysis) FrontSplitThreshold() int {
+	switch {
+	case an.Config.FrontSplit > 0:
+		return an.Config.FrontSplit
+	case an.Config.FrontSplit < 0:
+		return 0
+	}
+	// Analyze applies MapOptions only when P is set; mirror that here.
+	if mo := an.Config.MapOptions; mo.P != 0 && mo.Type2MinFront > 0 {
+		return mo.Type2MinFront
+	}
+	maxFront := 0
+	for i := range an.Tree.Nodes {
+		if f := an.Tree.Nodes[i].NFront(); f > maxFront {
+			maxFront = f
+		}
+	}
+	return assembly.DefaultType2MinFront(maxFront)
 }
 
 // FactorizeParallel runs the shared-memory parallel numeric factorization
 // with cfg.Workers goroutines (cfg.Workers < 1 uses the analysis processor
 // count). Unless overridden, the static mapping's leaf subtrees become the
-// single-worker subtree tasks of the paper's layer L0.
+// single-worker subtree tasks of the paper's layer L0, and fronts above
+// the type-2 threshold factor through the within-front master/slave path
+// (Config.FrontSplit / Config.BlockRows).
 func (an *Analysis) FactorizeParallel(cfg parmf.Config) (*parmf.Factors, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = an.Config.Procs
 	}
 	if cfg.SubtreeRoots == nil && an.Mapping != nil {
 		cfg.SubtreeRoots = an.Mapping.SubRoot
+	}
+	if cfg.FrontSplit == 0 {
+		cfg.FrontSplit = an.FrontSplitThreshold()
+	}
+	if cfg.BlockRows == 0 {
+		cfg.BlockRows = an.Config.BlockRows
 	}
 	return parmf.Factorize(an.Permuted, an.Tree, cfg)
 }
@@ -201,6 +263,7 @@ func (an *Analysis) FactorizeOOC() (*seqmf.Factors, *ooc.FileStore, error) {
 	}
 	opt := seqmf.DefaultOptions()
 	opt.Store = st
+	opt.BlockRows = an.blockRows()
 	f, err := seqmf.Factorize(an.Permuted, an.Tree, opt)
 	if err != nil {
 		st.Close()

@@ -43,23 +43,39 @@ func (m *Matrix) Row(i int) []float64 { return m.A[i*m.C : (i+1)*m.C] }
 // internal/sparse produce diagonally dominant or SPD matrices).
 var ErrSmallPivot = errors.New("dense: pivot below threshold (matrix requires numerical pivoting)")
 
-// PartialLU performs an in-place right-looking partial LU factorization of
-// the leading npiv columns of the n x n front f, without pivoting. On
-// return the unit-lower trapezoid is in the strict lower part of columns
-// 0..npiv-1, U in rows 0..npiv-1, and the Schur complement in the trailing
-// block.
-func PartialLU(f *Matrix, npiv int, tol float64) error {
+func errSmallPivotAt(k int, pk float64) error {
+	return fmt.Errorf("%w: pivot %d = %g", ErrSmallPivot, k, pk)
+}
+
+func errNonPositiveDiag(k int, d float64) error {
+	return fmt.Errorf("%w: non-positive diagonal %g at %d", ErrSmallPivot, d, k)
+}
+
+// checkPartial validates the front/npiv pair of a partial factorization.
+func checkPartial(f *Matrix, npiv int) error {
 	if f.R != f.C {
 		return fmt.Errorf("dense: front not square (%dx%d)", f.R, f.C)
 	}
 	if npiv < 0 || npiv > f.R {
 		return fmt.Errorf("dense: npiv %d out of range for order %d", npiv, f.R)
 	}
+	return nil
+}
+
+// PartialLU performs an in-place right-looking partial LU factorization of
+// the leading npiv columns of the n x n front f, without pivoting. On
+// return the unit-lower trapezoid is in the strict lower part of columns
+// 0..npiv-1, U in rows 0..npiv-1, and the Schur complement in the trailing
+// block.
+func PartialLU(f *Matrix, npiv int, tol float64) error {
+	if err := checkPartial(f, npiv); err != nil {
+		return err
+	}
 	n := f.R
 	for k := 0; k < npiv; k++ {
 		pk := f.At(k, k)
 		if math.Abs(pk) <= tol {
-			return fmt.Errorf("%w: pivot %d = %g", ErrSmallPivot, k, pk)
+			return errSmallPivotAt(k, pk)
 		}
 		inv := 1 / pk
 		rowK := f.Row(k)
@@ -83,14 +99,14 @@ func PartialLU(f *Matrix, npiv int, tol float64) error {
 // front f, leaving the Schur complement in the trailing block. Only the
 // lower triangle is referenced and updated.
 func PartialCholesky(f *Matrix, npiv int) error {
-	if f.R != f.C {
-		return fmt.Errorf("dense: front not square (%dx%d)", f.R, f.C)
+	if err := checkPartial(f, npiv); err != nil {
+		return err
 	}
 	n := f.R
 	for k := 0; k < npiv; k++ {
 		d := f.At(k, k)
 		if d <= 0 {
-			return fmt.Errorf("%w: non-positive diagonal %g at %d", ErrSmallPivot, d, k)
+			return errNonPositiveDiag(k, d)
 		}
 		d = math.Sqrt(d)
 		f.Set(k, k, d)

@@ -160,6 +160,21 @@ func Eliminate(f *dense.Matrix, npiv int, kind sparse.Type, tol float64) error {
 	return dense.PartialLU(f, npiv, tol)
 }
 
+// EliminateBlocked is Eliminate through the blocked (panel + row-block)
+// kernels with the given panel width; blockRows <= 0 falls back to the
+// element-wise kernels. Both paths produce bitwise-identical factors (the
+// blocked kernels replicate the element-wise operation order), so callers
+// may mix them freely across executors.
+func EliminateBlocked(f *dense.Matrix, npiv int, kind sparse.Type, tol float64, blockRows int) error {
+	if blockRows <= 0 {
+		return Eliminate(f, npiv, kind, tol)
+	}
+	if kind == sparse.Symmetric {
+		return dense.BlockedPartialCholesky(f, npiv, blockRows)
+	}
+	return dense.BlockedPartialLU(f, npiv, tol, blockRows)
+}
+
 // ExtractFactor copies the factor pieces out of the eliminated front: the
 // nf x npiv lower trapezoid (diag: Cholesky=L(k,k), LU=1 implicit) and, for
 // unsymmetric matrices, the npiv x nf upper trapezoid holding the U diag.

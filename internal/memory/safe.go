@@ -62,6 +62,15 @@ func (s *SafeTracker) Stack(p int) int64 {
 	return s.t.Procs[p].Stack
 }
 
+// Active returns worker p's current active memory (stack + live fronts
+// and row blocks) — the instantaneous metric of the memory-based slave
+// selection.
+func (s *SafeTracker) Active(p int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Procs[p].Active()
+}
+
 // ActivePeak returns worker p's active-memory peak (stack + fronts).
 func (s *SafeTracker) ActivePeak(p int) int64 {
 	s.mu.Lock()

@@ -1,0 +1,219 @@
+package nodepar
+
+import (
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// Phase is one slave phase of a panel round.
+type Phase int
+
+const (
+	// PhaseUpdate applies the panel to a row block: the LU scale+trailing
+	// sweep, or the symmetric trailing update (Cholesky phase 2).
+	PhaseUpdate Phase = iota
+	// PhaseScale computes a row block's scaled panel columns (Cholesky
+	// phase 1); it depends only on the master panel, while the symmetric
+	// PhaseUpdate reads every block's PhaseScale output.
+	PhaseScale
+)
+
+// Panel is one pivot panel [K0,K1) of a job.
+type Panel struct{ K0, K1 int }
+
+// Task states within the current phase.
+const (
+	taskPending uint8 = iota
+	taskClaimed
+	taskDone
+)
+
+// Job is the within-front factorization of one split front: the master's
+// panel sequence plus, per panel, one or two barriered waves of row-block
+// slave tasks over the fixed 1D partition. All methods except Run and
+// RunMaster must be called under the executor's scheduling mutex; Run and
+// RunMaster execute the dense kernels and must be called without it. A
+// task index returned by Claim stays valid for Run/Finish because the
+// phase cannot advance while the task is unfinished.
+type Job struct {
+	Node   int // assembly-tree node, for error context
+	NPiv   int
+	NFront int
+	Kind   sparse.Type
+	Blocks []Block
+
+	f   *dense.Matrix
+	tol float64
+
+	k0, k1  int
+	phase   Phase
+	state   []uint8
+	pending int
+}
+
+// NewJob builds the job for one assembled front. blocks must come from
+// Partition (optionally with preferences assigned).
+func NewJob(node int, f *dense.Matrix, npiv int, kind sparse.Type, tol float64, blocks []Block) *Job {
+	return &Job{
+		Node:   node,
+		NPiv:   npiv,
+		NFront: f.R,
+		Kind:   kind,
+		Blocks: blocks,
+		f:      f,
+		tol:    tol,
+		state:  make([]uint8, len(blocks)),
+	}
+}
+
+// Panels returns the pivot panels, sized by the partition's block height.
+func (j *Job) Panels() []Panel {
+	var ps []Panel
+	for _, b := range j.Blocks {
+		if b.R0 >= j.NPiv {
+			break
+		}
+		k1 := b.R1
+		if k1 > j.NPiv {
+			k1 = j.NPiv
+		}
+		ps = append(ps, Panel{K0: b.R0, K1: k1})
+	}
+	return ps
+}
+
+// Phases returns the slave phases a panel needs, in order.
+func (j *Job) Phases() []Phase {
+	if j.Kind == sparse.Symmetric {
+		return []Phase{PhaseScale, PhaseUpdate}
+	}
+	return []Phase{PhaseUpdate}
+}
+
+// RunMaster eliminates panel p within its own rows (the master task).
+// Call without the scheduling lock, before starting the panel's phases.
+func (j *Job) RunMaster(p Panel) error {
+	if j.Kind == sparse.Symmetric {
+		return dense.PanelCholesky(j.f, p.K0, p.K1)
+	}
+	return dense.PanelLU(j.f, p.K0, p.K1, j.tol)
+}
+
+// StartPhase arms the slave tasks of phase ph for panel p and returns how
+// many there are (0 when no rows lie beyond the panel). Must not be called
+// while a previous phase still has unfinished tasks.
+func (j *Job) StartPhase(p Panel, ph Phase) int {
+	if j.pending != 0 {
+		panic("nodepar: StartPhase with unfinished tasks")
+	}
+	j.k0, j.k1, j.phase = p.K0, p.K1, ph
+	j.pending = 0
+	for i, b := range j.Blocks {
+		if b.R1 > j.k1 {
+			j.state[i] = taskPending
+			j.pending++
+		} else {
+			j.state[i] = taskDone
+		}
+	}
+	return j.pending
+}
+
+// Claim hands out a pending task of the current phase, preferring blocks
+// whose Pref is w, and returns its index (-1 when none is pending).
+func (j *Job) Claim(w int) int {
+	free := -1
+	for i := range j.Blocks {
+		if j.state[i] != taskPending {
+			continue
+		}
+		if j.Blocks[i].Pref == w {
+			j.state[i] = taskClaimed
+			return i
+		}
+		if free < 0 {
+			free = i
+		}
+	}
+	if free >= 0 {
+		j.state[free] = taskClaimed
+	}
+	return free
+}
+
+// ClaimPreferred is Claim restricted to blocks preferring worker w.
+func (j *Job) ClaimPreferred(w int) int {
+	for i := range j.Blocks {
+		if j.state[i] == taskPending && j.Blocks[i].Pref == w {
+			j.state[i] = taskClaimed
+			return i
+		}
+	}
+	return -1
+}
+
+// PhaseDone reports whether every task of the current phase has finished.
+func (j *Job) PhaseDone() bool { return j.pending == 0 }
+
+// rows returns task i's effective row range in the current phase.
+func (j *Job) rows(i int) (int, int) {
+	b := j.Blocks[i]
+	r0 := b.R0
+	if r0 < j.k1 {
+		r0 = j.k1
+	}
+	return r0, b.R1
+}
+
+// Run executes task i's kernel for the current panel and phase. Call
+// without the scheduling lock; the task must have been Claimed.
+func (j *Job) Run(i int) {
+	r0, r1 := j.rows(i)
+	switch {
+	case j.Kind != sparse.Symmetric:
+		dense.LUApplyRows(j.f, j.k0, j.k1, r0, r1)
+	case j.phase == PhaseScale:
+		dense.CholeskyScaleRows(j.f, j.k0, j.k1, r0, r1)
+	default:
+		dense.CholeskyUpdateRows(j.f, j.k0, j.k1, r0, r1)
+	}
+}
+
+// Finish marks task i done and reports whether that completed the phase.
+func (j *Job) Finish(i int) bool {
+	if j.state[i] != taskClaimed {
+		panic("nodepar: Finish on unclaimed task")
+	}
+	j.state[i] = taskDone
+	j.pending--
+	return j.pending == 0
+}
+
+// TaskEntries returns the model entries task i's row share occupies while
+// it runs — the per-slave memory charge.
+func (j *Job) TaskEntries(i int) int64 {
+	r0, r1 := j.rows(i)
+	return RowsEntries(j.Kind, j.NFront, r0, r1)
+}
+
+// TaskFlops estimates task i's flops in the current phase (workload
+// accounting for the slave selection of later fronts).
+func (j *Job) TaskFlops(i int) int64 {
+	r0, r1 := j.rows(i)
+	rows := int64(r1 - r0)
+	kw := int64(j.k1 - j.k0)
+	if rows <= 0 || kw <= 0 {
+		return 0
+	}
+	fl := rows * kw * (1 + 2*(int64(j.NFront)-int64(j.k0+j.k1)/2))
+	if j.Kind == sparse.Symmetric {
+		fl /= 2
+	}
+	if fl < 0 {
+		fl = 0
+	}
+	return fl
+}
+
+// Pref returns the preferred worker of task i (-1 for none).
+func (j *Job) Pref(i int) int { return j.Blocks[i].Pref }

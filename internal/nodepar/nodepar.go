@@ -1,0 +1,131 @@
+// Package nodepar implements within-front (type-2) parallelism for the
+// shared-memory executor: a large front is factored as a *master* task —
+// panel-wise elimination of the pivot block with the blocked kernels of
+// internal/dense — plus *slave* row-block tasks that apply each panel to
+// the 1D row partition of the trailing rows (the paper's Figure-3 row
+// blocking, as real shared-memory tasks instead of simulated messages).
+//
+// The row partition is a pure function of the front shape and the block
+// size — never of the worker count — and every row-block kernel computes
+// bitwise the same result wherever it runs (see internal/dense's blocked
+// kernels), so the factors are identical at any worker count for a fixed
+// block size. The scheduling heuristics of the paper only decide which
+// worker *should* run each block: AssignPrefs maps the allocations of
+// sched.SelectSlavesWorkload / sched.SelectSlavesMemory onto preferred
+// owners, and the executor uses them as claim priorities, not as
+// correctness constraints.
+//
+// A Job is the state machine of one split front. Its phase/claim/finish
+// methods are designed to be called under the executor's scheduling mutex
+// (they do no locking of their own); Run and RunMaster execute the dense
+// kernels and must be called outside it. Phases form barriers: Update
+// tasks of a panel only start once every Scale task of that panel has
+// finished, which is what lets the symmetric trailing update read the
+// scaled rows of other blocks.
+package nodepar
+
+import (
+	"repro/internal/dense"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+)
+
+// Block is one row block of the 1D within-front partition: front rows
+// [R0,R1) and the worker that should preferably process its tasks (-1 for
+// no preference).
+type Block struct {
+	R0, R1 int
+	Pref   int
+}
+
+// Partition splits the nfront rows into blocks of blockRows rows — a pure
+// function of the front shape, so the partition (and with it the task
+// arithmetic) is independent of the worker count. blockRows <= 0 uses
+// dense.DefaultBlockRows.
+func Partition(nfront, blockRows int) []Block {
+	if blockRows <= 0 {
+		blockRows = dense.DefaultBlockRows
+	}
+	blocks := make([]Block, 0, (nfront+blockRows-1)/blockRows)
+	for r0 := 0; r0 < nfront; r0 += blockRows {
+		r1 := r0 + blockRows
+		if r1 > nfront {
+			r1 = nfront
+		}
+		blocks = append(blocks, Block{R0: r0, R1: r1, Pref: -1})
+	}
+	return blocks
+}
+
+// RowsEntries returns the model entries of front rows [r0,r1): full rows
+// for unsymmetric fronts, lower-triangle rows for symmetric ones. This is
+// the memory a slave's share of the front surface occupies while its task
+// runs, charged to the executing worker's tracker.
+func RowsEntries(kind sparse.Type, nfront, r0, r1 int) int64 {
+	if r1 <= r0 {
+		return 0
+	}
+	if kind == sparse.Symmetric {
+		tri := func(x int64) int64 { return x * (x + 1) / 2 }
+		return tri(int64(r1)) - tri(int64(r0))
+	}
+	return int64(r1-r0) * int64(nfront)
+}
+
+// MasterFlops estimates the elimination flops of the master part of a
+// front (pivot-block panels): an input to the workload-based slave
+// selection, not an exact operation count.
+func MasterFlops(kind sparse.Type, npiv, nfront int) int64 {
+	var fl int64
+	for k := 0; k < npiv; k++ {
+		// rows k+1..npiv-1 each take a scale plus a trailing sweep.
+		fl += int64(npiv-k-1) * (1 + 2*int64(nfront-k-1))
+	}
+	if kind == sparse.Symmetric {
+		fl /= 2
+	}
+	return fl
+}
+
+// RowFlops estimates the elimination flops one trailing row costs across
+// all panels: the per-row workload unit of the slave selection.
+func RowFlops(kind sparse.Type, npiv, nfront int) int64 {
+	var fl int64
+	for k := 0; k < npiv; k++ {
+		fl += 1 + 2*int64(nfront-k-1)
+	}
+	if kind == sparse.Symmetric {
+		fl /= 2
+	}
+	return fl
+}
+
+// AssignPrefs stamps preferred owners onto the blocks from a slave
+// allocation over the rows beyond the first panel (firstK1): the
+// allocation's row shares are walked in order and each block inherits the
+// processor owning its first row. Blocks before firstK1 (pure master
+// territory) and rows beyond the allocation keep Pref -1.
+func AssignPrefs(blocks []Block, firstK1 int, allocs []sched.Allocation) {
+	if len(allocs) == 0 {
+		return
+	}
+	ai, left := 0, allocs[0].Rows
+	for bi := range blocks {
+		b := &blocks[bi]
+		if b.R1 <= firstK1 {
+			continue
+		}
+		if ai >= len(allocs) {
+			return
+		}
+		b.Pref = allocs[ai].Proc
+		rows := b.R1 - max(b.R0, firstK1)
+		left -= rows
+		for left <= 0 && ai < len(allocs) {
+			ai++
+			if ai < len(allocs) {
+				left += allocs[ai].Rows
+			}
+		}
+	}
+}

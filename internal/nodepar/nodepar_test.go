@@ -1,0 +1,260 @@
+package nodepar
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+)
+
+func TestPartitionPure(t *testing.T) {
+	// The partition depends on the front shape and block size only.
+	a := Partition(300, 64)
+	b := Partition(300, 64)
+	if len(a) != len(b) || len(a) != 5 {
+		t.Fatalf("partition not deterministic: %v vs %v", a, b)
+	}
+	total := 0
+	prev := 0
+	for i, blk := range a {
+		if blk.R0 != prev || blk.R1 <= blk.R0 || blk.Pref != -1 {
+			t.Fatalf("block %d malformed: %+v", i, blk)
+		}
+		if blk != b[i] {
+			t.Fatalf("block %d differs across calls", i)
+		}
+		total += blk.R1 - blk.R0
+		prev = blk.R1
+	}
+	if total != 300 {
+		t.Fatalf("blocks cover %d rows, want 300", total)
+	}
+	if got := Partition(10, 0); len(got) != 1 || got[0].R1 != 10 {
+		t.Fatalf("default block size partition wrong: %v", got)
+	}
+}
+
+func TestRowsEntries(t *testing.T) {
+	if e := RowsEntries(sparse.Unsymmetric, 100, 10, 20); e != 1000 {
+		t.Errorf("unsym rows entries %d, want 1000", e)
+	}
+	// Symmetric rows 2..3 of the lower triangle: (3) + (4) = 7.
+	if e := RowsEntries(sparse.Symmetric, 100, 2, 4); e != 7 {
+		t.Errorf("sym rows entries %d, want 7", e)
+	}
+	if e := RowsEntries(sparse.Symmetric, 100, 5, 5); e != 0 {
+		t.Errorf("empty range entries %d, want 0", e)
+	}
+}
+
+func TestAssignPrefs(t *testing.T) {
+	blocks := Partition(200, 50) // 4 blocks of 50
+	// First panel ends at 50; 150 slave rows split 100/50 between workers
+	// 2 and 5.
+	AssignPrefs(blocks, 50, []sched.Allocation{{Proc: 2, Rows: 100}, {Proc: 5, Rows: 50}})
+	if blocks[0].Pref != -1 {
+		t.Errorf("master block got pref %d", blocks[0].Pref)
+	}
+	if blocks[1].Pref != 2 || blocks[2].Pref != 2 {
+		t.Errorf("first allocation blocks: %d %d, want 2 2", blocks[1].Pref, blocks[2].Pref)
+	}
+	if blocks[3].Pref != 5 {
+		t.Errorf("second allocation block: %d, want 5", blocks[3].Pref)
+	}
+	// No allocations: prefs untouched.
+	blocks2 := Partition(200, 50)
+	AssignPrefs(blocks2, 50, nil)
+	for _, b := range blocks2 {
+		if b.Pref != -1 {
+			t.Fatalf("pref %d without allocation", b.Pref)
+		}
+	}
+}
+
+func TestFlopsHelpers(t *testing.T) {
+	if MasterFlops(sparse.Unsymmetric, 0, 100) != 0 {
+		t.Error("master flops without pivots")
+	}
+	if RowFlops(sparse.Unsymmetric, 10, 100) <= 0 {
+		t.Error("row flops not positive")
+	}
+	if MasterFlops(sparse.Symmetric, 20, 100) >= MasterFlops(sparse.Unsymmetric, 20, 100) {
+		t.Error("symmetric master flops not below unsymmetric")
+	}
+}
+
+// driveJob factors the front through the job state machine with the given
+// number of worker goroutines, mimicking the executor's locking protocol.
+func driveJob(t *testing.T, f *dense.Matrix, npiv int, kind sparse.Type, blockRows, workers int) {
+	t.Helper()
+	blocks := Partition(f.R, blockRows)
+	// Spread preferences around to exercise the pref path.
+	for i := range blocks {
+		blocks[i].Pref = i % workers
+	}
+	job := NewJob(0, f, npiv, kind, 1e-14, blocks)
+
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	done := false
+
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			mu.Lock()
+			for !done {
+				i := job.ClaimPreferred(id)
+				if i < 0 {
+					i = job.Claim(id)
+				}
+				if i < 0 {
+					cond.Wait()
+					continue
+				}
+				if job.TaskEntries(i) <= 0 {
+					t.Error("task with no entries")
+				}
+				mu.Unlock()
+				job.Run(i)
+				mu.Lock()
+				if job.Finish(i) {
+					cond.Broadcast()
+				}
+			}
+			mu.Unlock()
+		}(w)
+	}
+
+	for _, p := range job.Panels() {
+		if err := job.RunMaster(p); err != nil {
+			t.Fatal(err)
+		}
+		for _, ph := range job.Phases() {
+			mu.Lock()
+			if job.StartPhase(p, ph) == 0 {
+				mu.Unlock()
+				continue
+			}
+			cond.Broadcast()
+			for !job.PhaseDone() {
+				if i := job.Claim(0); i >= 0 {
+					mu.Unlock()
+					job.Run(i)
+					mu.Lock()
+					if job.Finish(i) {
+						cond.Broadcast()
+					}
+					continue
+				}
+				cond.Wait()
+			}
+			mu.Unlock()
+		}
+	}
+	mu.Lock()
+	done = true
+	cond.Broadcast()
+	mu.Unlock()
+	wg.Wait()
+}
+
+// TestJobMatchesReferenceKernels drives jobs with concurrent claimants at
+// several worker counts and block sizes and checks the result is bitwise
+// the element-wise kernel's — the determinism the executor builds on.
+// Running it under -race also validates the claim/finish protocol.
+func TestJobMatchesReferenceKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 97
+	for _, kind := range []sparse.Type{sparse.Unsymmetric, sparse.Symmetric} {
+		for _, npiv := range []int{13, 40, n} {
+			var a *dense.Matrix
+			if kind == sparse.Symmetric {
+				a = randSPD(n, rng)
+			} else {
+				a = randDiagDominant(n, rng)
+			}
+			ref := cloneM(a)
+			var err error
+			if kind == sparse.Symmetric {
+				err = dense.PartialCholesky(ref, npiv)
+			} else {
+				err = dense.PartialLU(ref, npiv, 1e-14)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, blockRows := range []int{16, 32} {
+				for _, workers := range []int{1, 2, 4} {
+					got := cloneM(a)
+					driveJob(t, got, npiv, kind, blockRows, workers)
+					for i := 0; i < n; i++ {
+						for j := 0; j < n; j++ {
+							if kind == sparse.Symmetric && j > i {
+								continue
+							}
+							if math.Float64bits(ref.At(i, j)) != math.Float64bits(got.At(i, j)) {
+								t.Fatalf("%v npiv=%d block=%d workers=%d: (%d,%d) %g vs %g",
+									kind, npiv, blockRows, workers, i, j, ref.At(i, j), got.At(i, j))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func randDiagDominant(n int, rng *rand.Rand) *dense.Matrix {
+	m := dense.New(n, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := rng.NormFloat64()
+				if rng.Float64() < 0.4 {
+					v = 0
+				}
+				m.Set(i, j, v)
+				sum += math.Abs(v)
+			}
+		}
+		m.Set(i, i, sum+1+rng.Float64())
+	}
+	return m
+}
+
+func randSPD(n int, rng *rand.Rand) *dense.Matrix {
+	m := dense.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			v := rng.NormFloat64()
+			if rng.Float64() < 0.4 {
+				v = 0
+			}
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				s += math.Abs(m.At(i, j))
+			}
+		}
+		m.Set(i, i, s+1)
+	}
+	return m
+}
+
+func cloneM(m *dense.Matrix) *dense.Matrix {
+	c := dense.New(m.R, m.C)
+	copy(c.A, m.A)
+	return c
+}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/front"
 	"repro/internal/memory"
+	"repro/internal/nodepar"
 	"repro/internal/sched"
 	"repro/internal/seqmf"
 	"repro/internal/sparse"
@@ -69,6 +70,29 @@ func (p Policy) String() string {
 		return "depthfirst"
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// SlavePolicy selects how the master of a split front picks its preferred
+// slave workers (the paper's dynamic slave selection, Section 3 vs 4).
+type SlavePolicy int
+
+const (
+	// SlavesMemory is Algorithm 1: level the workers' instantaneous
+	// active memory without raising the observed peak.
+	SlavesMemory SlavePolicy = iota
+	// SlavesWorkload is the MUMPS baseline: prefer workers less loaded
+	// than the master, balancing elimination flops.
+	SlavesWorkload
+)
+
+func (p SlavePolicy) String() string {
+	switch p {
+	case SlavesMemory:
+		return "memory"
+	case SlavesWorkload:
+		return "workload"
+	}
+	return fmt.Sprintf("SlavePolicy(%d)", int(p))
 }
 
 // Config drives the parallel factorization.
@@ -98,6 +122,23 @@ type Config struct {
 	// Meter, when non-nil, replaces the internal resident-memory meter —
 	// pass one to share accounting with an enclosing measurement.
 	Meter *memory.Meter
+	// FrontSplit, when positive, factors fronts of at least this order
+	// (outside leaf subtrees, at more than one worker) through the
+	// within-front master/slave path (internal/nodepar): the paper's
+	// type-2 1D row blocking as real shared-memory tasks. <= 0 disables;
+	// core.FactorizeParallel derives it from the mapping's type-2
+	// classification threshold. Splitting never changes the factors: the
+	// row partition is a pure function of the front and BlockRows, and
+	// the blocked kernels are bitwise identical to the element-wise ones.
+	FrontSplit int
+	// BlockRows is the panel width and row-block height of the blocked
+	// dense kernels and the within-front 1D partition. 0 uses
+	// dense.DefaultBlockRows; a negative value selects the element-wise
+	// reference kernels (which also disables FrontSplit — the split path
+	// requires the blocked kernels).
+	BlockRows int
+	// SlavePolicy picks the slave-selection heuristic for split fronts.
+	SlavePolicy SlavePolicy
 }
 
 // DefaultConfig returns the standard settings for the given worker count.
@@ -122,6 +163,10 @@ type Stats struct {
 	Deviations       int64   // off-top pool selections (Algorithm 2 deviations)
 	Waits            int64   // idle episodes where nothing fit the bound
 	Forced           int64   // peak-raising activations over the worker's effective bound
+
+	SplitFronts int   // fronts factored through the within-front master/slave path
+	SlaveTasks  int64 // row-block tasks executed (all panels and phases)
+	SlaveSteals int64 // row-block tasks run by a worker other than the preferred one
 }
 
 // Seq returns the seqmf-comparable subset of the stats.
@@ -175,7 +220,10 @@ func (f *Factors) SolveOriginal(b []float64) ([]float64, error) {
 // Contribution blocks (cbs, cbOwner) are written by the worker that factors
 // a node and read by the worker that assembles its parent; the completion
 // under mu that makes the parent's task ready establishes the
-// happens-before edge.
+// happens-before edge. The same mutex orders the within-front jobs: a
+// slave task is claimed and finished under mu, and a job's phase barrier
+// (all tasks finished before the next StartPhase) is what lets its kernels
+// read rows other workers wrote.
 type state struct {
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -189,6 +237,9 @@ type state struct {
 	cbs     []*dense.Matrix
 	cbOwner []int
 
+	jobs  []*nodepar.Job // split fronts with claimable row-block tasks
+	loads []int64        // per worker: elimination flops claimed and not yet finished
+
 	stats Stats
 }
 
@@ -197,6 +248,7 @@ type plan struct {
 	taskOf    []int   // node -> subtree-task root, or -1 for an individual task
 	taskNodes [][]int // subtree root -> member nodes in postorder (nil otherwise)
 	peaks     []int64 // sequential subtree peaks (task memory cost for subtrees)
+	flops     []int64 // per task root/node: elimination flops (workload accounting)
 }
 
 // Factorize factors the permuted matrix pa over its assembly tree with a
@@ -211,6 +263,17 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 	}
 	if cfg.PivotTol == 0 {
 		cfg.PivotTol = 1e-12
+	}
+	if cfg.BlockRows == 0 {
+		cfg.BlockRows = dense.DefaultBlockRows
+	}
+	if cfg.BlockRows < 0 {
+		cfg.BlockRows = 0 // element-wise kernels
+	}
+	if cfg.Workers == 1 || cfg.BlockRows == 0 {
+		// One worker has no slaves to fan out to, and the split path runs
+		// on the blocked kernels; either way the factors are the same bits.
+		cfg.FrontSplit = 0
 	}
 	peaks := assembly.SequentialPeaks(tree)
 	if cfg.PeakBound <= 0 {
@@ -236,6 +299,7 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 		unfin:   make([]int, tree.Len()),
 		cbs:     make([]*dense.Matrix, tree.Len()),
 		cbOwner: make([]int, tree.Len()),
+		loads:   make([]int64, cfg.Workers),
 	}
 	st.cond = sync.NewCond(&st.mu)
 	st.stats.Workers = cfg.Workers
@@ -333,6 +397,19 @@ func buildPlan(tree *assembly.Tree, roots []int, peaks []int64) (*plan, error) {
 			pl.taskNodes[r] = append(pl.taskNodes[r], ni)
 		}
 	}
+	// Task workloads: a node's elimination flops, summed over the members
+	// for a subtree task (inputs to the workload-based slave selection).
+	pl.flops = make([]int64, tree.Len())
+	for i := range tree.Nodes {
+		pl.flops[i] = assembly.EliminationFlops(&tree.Nodes[i], tree.Kind)
+	}
+	for _, r := range roots {
+		var s int64
+		for _, ni := range pl.taskNodes[r] {
+			s += assembly.EliminationFlops(&tree.Nodes[ni], tree.Kind)
+		}
+		pl.flops[r] = s
+	}
 	return pl, nil
 }
 
@@ -344,6 +421,10 @@ func (pl *plan) taskCost(task int, tree *assembly.Tree) int64 {
 	}
 	return assembly.FrontEntries(&tree.Nodes[task], tree.Kind)
 }
+
+// taskFlops returns the elimination flops a task adds to its worker's
+// workload while claimed.
+func (pl *plan) taskFlops(task int) int64 { return pl.flops[task] }
 
 type worker struct {
 	id      int
@@ -384,6 +465,13 @@ func (w worker) run() {
 				st.mu.Unlock()
 				return
 			}
+			// Row-block tasks of split fronts come first: they are small,
+			// they unblock a waiting master, and the paper gives dynamic
+			// slave tasks priority over new node activations.
+			if job, i := w.claimBlockLocked(); job != nil {
+				w.runBlockLocked(job, i)
+				continue
+			}
 			t, ok := w.selectLocked()
 			if ok {
 				task = t
@@ -397,10 +485,58 @@ func (w worker) run() {
 			}
 			st.cond.Wait()
 		}
+		st.loads[w.id] += w.pl.taskFlops(task)
 		st.inFlight++
 		st.mu.Unlock()
 
 		done = w.processTask(task)
+	}
+}
+
+// claimBlockLocked looks for a claimable row-block task across the active
+// split-front jobs, preferring blocks the slave selection assigned to this
+// worker before stealing any pending one.
+func (w worker) claimBlockLocked() (*nodepar.Job, int) {
+	for _, j := range w.st.jobs {
+		if i := j.ClaimPreferred(w.id); i >= 0 {
+			return j, i
+		}
+	}
+	for _, j := range w.st.jobs {
+		if i := j.Claim(w.id); i >= 0 {
+			return j, i
+		}
+	}
+	return nil, -1
+}
+
+// runBlockLocked executes one claimed row-block task: it releases the
+// scheduling lock, charges the block's share of the front surface to this
+// worker's tracker for the duration of the kernel (the paper's per-slave
+// memory), runs it, and reacquires the lock to report completion — waking
+// everyone when the phase barrier falls. Called and returns with st.mu
+// held.
+func (w worker) runBlockLocked(job *nodepar.Job, i int) {
+	st := w.st
+	entries := job.TaskEntries(i)
+	flops := job.TaskFlops(i)
+	st.stats.SlaveTasks++
+	if p := job.Pref(i); p >= 0 && p != w.id {
+		st.stats.SlaveSteals++
+	}
+	st.loads[w.id] += flops
+	st.mu.Unlock()
+
+	// No meter delta: the rows are already resident under the front the
+	// master allocated; the tracker charge is the per-worker model share.
+	w.tracker.AllocFront(w.id, entries)
+	job.Run(i)
+	w.tracker.FreeFront(w.id, entries)
+
+	st.mu.Lock()
+	st.loads[w.id] -= flops
+	if job.Finish(i) {
+		st.cond.Broadcast()
 	}
 }
 
@@ -411,6 +547,7 @@ func (w worker) run() {
 func (w worker) completeLocked(r *taskResult) {
 	st := w.st
 	st.inFlight--
+	st.loads[w.id] -= w.pl.taskFlops(r.task)
 	pushed := false
 	if r.err != nil {
 		if st.err == nil {
@@ -513,7 +650,9 @@ func (w worker) processTask(task int) *taskResult {
 // processNode assembles, eliminates and extracts node ni. The per-worker
 // memory accounting mirrors seqmf exactly (front allocated with children
 // CBs still stacked, children popped after extend-add, front freed before
-// the CB is stacked).
+// the CB is stacked), except that a split front charges its master only
+// the master part — the slave row blocks are charged to whoever runs
+// their tasks, as the paper's type-2 accounting does.
 func (w worker) processNode(ni int, r *taskResult) error {
 	tree := w.sh.Tree
 	nd := &tree.Nodes[ni]
@@ -521,8 +660,13 @@ func (w worker) processNode(ni int, r *taskResult) error {
 	nf := nd.NFront()
 	rows := w.asm.Begin(ni)
 
+	split := w.splitFront(ni)
 	fe := assembly.FrontEntries(nd, tree.Kind)
-	w.tracker.AllocFront(w.id, fe)
+	charge := fe
+	if split {
+		charge = assembly.MasterEntries(nd, tree.Kind)
+	}
+	w.tracker.AllocFront(w.id, charge)
 	w.meter.Add(fe)
 	fr := dense.New(nf, nf)
 	if err := w.asm.Scatter(ni, fr); err != nil {
@@ -547,7 +691,11 @@ func (w worker) processNode(ni int, r *taskResult) error {
 		w.st.cbs[c] = nil
 	}
 
-	if err := front.Eliminate(fr, npiv, tree.Kind, w.cfg.PivotTol); err != nil {
+	if split {
+		if err := w.runSplitFront(ni, fr, r); err != nil {
+			return err
+		}
+	} else if err := front.EliminateBlocked(fr, npiv, tree.Kind, w.cfg.PivotTol, w.cfg.BlockRows); err != nil {
 		return fmt.Errorf("parmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
 	}
 
@@ -559,7 +707,7 @@ func (w worker) processNode(ni int, r *taskResult) error {
 		return fmt.Errorf("parmf: node %d: %w", ni, err)
 	}
 	w.tracker.AddFactors(w.id, facE)
-	w.tracker.FreeFront(w.id, fe)
+	w.tracker.FreeFront(w.id, charge)
 	w.meter.Add(-fe)
 
 	if cb := front.ExtractCB(fr, npiv, nd.NCB(), tree.Kind); cb != nil {
@@ -575,4 +723,119 @@ func (w worker) processNode(ni int, r *taskResult) error {
 	}
 	r.factorEntries += facE
 	return nil
+}
+
+// splitFront reports whether node ni's front runs through the within-front
+// master/slave path: an individual (non-subtree) task whose front reaches
+// the splitting threshold and spans more than one row block. Subtree nodes
+// stay whole — the paper processes leaf subtrees entirely on one processor.
+func (w worker) splitFront(ni int) bool {
+	if w.cfg.FrontSplit <= 0 || w.pl.taskOf[ni] >= 0 {
+		return false
+	}
+	nf := w.sh.Tree.Nodes[ni].NFront()
+	return nf >= w.cfg.FrontSplit && nf > w.cfg.BlockRows
+}
+
+// runSplitFront factors an assembled front as a master task plus slave
+// row-block tasks: for each pivot panel the master eliminates the panel's
+// own rows, then fans the panel's row-block waves out through the shared
+// job list — idle workers claim them (preferring the blocks the slave
+// selection assigned to them) and the master joins in itself, so progress
+// never depends on anyone else being free. Phases are barriers; the
+// factors are bitwise identical to the sequential blocked kernel because
+// every row block computes the same bits wherever it runs.
+func (w worker) runSplitFront(ni int, fr *dense.Matrix, r *taskResult) error {
+	st, tree := w.st, w.sh.Tree
+	nd := &tree.Nodes[ni]
+	npiv, nf := nd.NPiv(), nd.NFront()
+
+	blocks := nodepar.Partition(nf, w.cfg.BlockRows)
+	st.mu.Lock()
+	w.assignSlavesLocked(nd, blocks)
+	job := nodepar.NewJob(ni, fr, npiv, tree.Kind, w.cfg.PivotTol, blocks)
+	st.stats.SplitFronts++
+	st.mu.Unlock()
+
+	published := false
+	defer func() {
+		if published {
+			st.mu.Lock()
+			for k, j := range st.jobs {
+				if j == job {
+					st.jobs = append(st.jobs[:k], st.jobs[k+1:]...)
+					break
+				}
+			}
+			st.mu.Unlock()
+		}
+	}()
+
+	for _, p := range job.Panels() {
+		if err := job.RunMaster(p); err != nil {
+			return fmt.Errorf("parmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
+		}
+		for _, ph := range job.Phases() {
+			st.mu.Lock()
+			if job.StartPhase(p, ph) == 0 {
+				st.mu.Unlock()
+				continue
+			}
+			if !published {
+				st.jobs = append(st.jobs, job)
+				published = true
+			}
+			st.cond.Broadcast()
+			for st.err == nil && !job.PhaseDone() {
+				if i := job.Claim(w.id); i >= 0 {
+					w.runBlockLocked(job, i)
+					continue
+				}
+				st.cond.Wait()
+			}
+			err := st.err
+			st.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// assignSlavesLocked runs the configured slave-selection heuristic against
+// the workers' live state and stamps the preferred owners onto the row
+// blocks. Preferences steer claiming only — any idle worker (and the
+// master) may still run any block, so liveness never depends on the
+// selection. Called under st.mu.
+func (w worker) assignSlavesLocked(nd *assembly.Node, blocks []nodepar.Block) {
+	if w.cfg.Workers <= 1 {
+		return
+	}
+	cands := make([]int, 0, w.cfg.Workers-1)
+	for q := 0; q < w.cfg.Workers; q++ {
+		if q != w.id {
+			cands = append(cands, q)
+		}
+	}
+	kind := w.sh.Tree.Kind
+	npiv, nf := nd.NPiv(), nd.NFront()
+	firstK1 := w.cfg.BlockRows
+	if firstK1 > npiv {
+		firstK1 = npiv
+	}
+	slaveRows := nf - firstK1
+	if slaveRows <= 0 {
+		return
+	}
+	var allocs []sched.Allocation
+	switch w.cfg.SlavePolicy {
+	case SlavesWorkload:
+		allocs = sched.SelectSlavesWorkload(cands, w.st.loads[w.id], w.st.loads,
+			slaveRows, nodepar.MasterFlops(kind, npiv, nf), nodepar.RowFlops(kind, npiv, nf))
+	default:
+		metric := func(q int) int64 { return w.tracker.Active(q) }
+		allocs = sched.SelectSlavesMemory(cands, metric, nf, slaveRows, w.tracker.MaxActivePeak())
+	}
+	nodepar.AssignPrefs(blocks, firstK1, allocs)
 }

@@ -68,6 +68,11 @@ func (f *Factors) Close() error {
 type Options struct {
 	// PivotTol is the minimum pivot magnitude for LU.
 	PivotTol float64
+	// BlockRows, when positive, routes the partial factorizations through
+	// the blocked (panel + row-block) dense kernels with this panel width
+	// — the same numeric path the parallel executor's within-front tasks
+	// use, and bitwise identical to the element-wise kernels (0).
+	BlockRows int
 	// Store receives each front's factor block the moment it is
 	// extracted; nil keeps factors in memory (front.Factors).
 	Store front.Store
@@ -135,7 +140,7 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		bump(stack + frontEntries)
 
 		// Partial factorization.
-		if err := front.Eliminate(fr, npiv, pa.Kind, opt.PivotTol); err != nil {
+		if err := front.EliminateBlocked(fr, npiv, pa.Kind, opt.PivotTol, opt.BlockRows); err != nil {
 			return nil, fmt.Errorf("seqmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
 		}
 
