@@ -9,12 +9,13 @@
 //
 //	oocfactor -matrix NAME|-mm FILE [-ordering METIS|PORD|AMD|AMF|RCM]
 //	          [-workers W] [-budget ENTRIES] [-dir DIR] [-prefetch N]
-//	          [-split N] [-front-split N] [-block-rows N] [-small]
+//	          [-split N] [-front-split N] [-block-rows N]
+//	          [-slaves memory|workload] [-fast-kernels] [-small]
 //
 // -workers 1 uses the sequential executor on both sides; higher counts
 // use the shared-memory parallel executor. The solve results of the two
 // runs are cross-checked (they are bitwise identical: the spill format
-// round-trips float bits).
+// round-trips float bits, and both runs use the same kernel family).
 package main
 
 import (
@@ -23,104 +24,38 @@ import (
 	"log"
 	"math"
 	"math/rand"
-	"os"
-	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
-	"repro/internal/dense"
 	"repro/internal/metrics"
 	"repro/internal/ooc"
-	"repro/internal/order"
 	"repro/internal/parmf"
 	"repro/internal/parsim"
 	"repro/internal/sparse"
-	"repro/internal/workload"
 )
-
-func parseOrdering(s string) (order.Method, error) {
-	switch strings.ToUpper(s) {
-	case "METIS", "ND":
-		return order.ND, nil
-	case "PORD":
-		return order.PORD, nil
-	case "AMD":
-		return order.AMD, nil
-	case "AMF":
-		return order.AMF, nil
-	case "RCM":
-		return order.RCM, nil
-	case "NATURAL":
-		return order.Natural, nil
-	}
-	return 0, fmt.Errorf("unknown ordering %q", s)
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("oocfactor: ")
-	name := flag.String("matrix", "", "suite problem name (see experiments -table 1)")
-	mmFile := flag.String("mm", "", "MatrixMarket file to read instead of a suite problem")
-	ordering := flag.String("ordering", "METIS", "fill-reducing ordering")
-	workers := flag.Int("workers", 1, "worker count (1 = sequential executor)")
+	var common cliflags.Common
+	common.Register(flag.CommandLine, 1)
 	budget := flag.Int64("budget", 0, "resident spill-buffer budget in entries (0 = factors/16)")
 	dir := flag.String("dir", "", "spill directory (default: system temp dir)")
 	prefetch := flag.Int("prefetch", 0, "solve-phase read-ahead in blocks (0 = 8)")
-	split := flag.Int64("split", 0, "split masters larger than this many entries (0 = off)")
-	frontSplit := flag.Int("front-split", 128, "factor fronts at least this large via within-front master/slave tasks")
-	blockRows := flag.Int("block-rows", dense.DefaultBlockRows, "panel width / row-block height of the blocked kernels and 1D partition")
-	small := flag.Bool("small", false, "use the reduced (test-scale) suite")
 	flag.Parse()
 
-	if *workers < 1 {
-		log.Fatalf("-workers must be >= 1 (got %d)", *workers)
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
 	}
-	if *frontSplit < 1 {
-		log.Fatalf("-front-split must be >= 1 (got %d)", *frontSplit)
-	}
-	if *blockRows < 1 {
-		log.Fatalf("-block-rows must be >= 1 (got %d)", *blockRows)
-	}
-
-	var a *sparse.CSC
-	switch {
-	case *mmFile != "":
-		f, err := os.Open(*mmFile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		a, err = sparse.ReadMatrixMarket(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-	case *name != "":
-		suite := workload.Suite()
-		if *small {
-			suite = workload.SmallSuite()
-		}
-		p, err := workload.ByName(suite, *name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		a = p.Matrix()
-	default:
-		log.Fatal("need -matrix NAME or -mm FILE")
-	}
-	if !a.HasValues() {
-		if err := sparse.FillDominant(a, rand.New(rand.NewSource(7))); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	m, err := parseOrdering(*ordering)
+	a, err := common.Load()
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.DefaultConfig(m, *workers)
-	cfg.SplitThreshold = *split
-	cfg.FrontSplit = *frontSplit
-	cfg.BlockRows = *blockRows
+	cfg, err := common.CoreConfig()
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg.OOC = ooc.Options{Dir: *dir, BufferEntries: *budget, Prefetch: *prefetch}
 	an, err := core.Analyze(a, cfg)
 	if err != nil {
@@ -138,6 +73,8 @@ func main() {
 		log.Fatal(err)
 	}
 
+	slaves, _ := common.SlavePolicy() // validated above
+
 	run := func(oocRun bool) (resident int64, wall time.Duration, x []float64, spill *ooc.Stats) {
 		b := make([]float64, a.N)
 		rng := rand.New(rand.NewSource(1))
@@ -149,7 +86,7 @@ func main() {
 			SolveOriginal([]float64) ([]float64, error)
 		}
 		var store *ooc.FileStore
-		if *workers == 1 {
+		if common.Workers == 1 {
 			var f interface {
 				SolveOriginal([]float64) ([]float64, error)
 				Close() error
@@ -173,7 +110,8 @@ func main() {
 			defer f.Close()
 			solver = f
 		} else {
-			pcfg := parmf.DefaultConfig(*workers)
+			pcfg := parmf.DefaultConfig(common.Workers)
+			pcfg.SlavePolicy = slaves
 			if oocRun {
 				pf, fs, err := an.FactorizeParallelOOC(pcfg)
 				if err != nil {
@@ -209,7 +147,7 @@ func main() {
 	inPeak, inWall, xIn, _ := run(false)
 	oocPeak, oocWall, xOOC, spill := run(true)
 
-	t := metrics.New(fmt.Sprintf("measured vs simulated resident peaks (%d workers, entries)", *workers),
+	t := metrics.New(fmt.Sprintf("measured vs simulated resident peaks (%d workers, entries)", common.Workers),
 		"source", "in-core total", "OOC resident", "saving %")
 	t.AddRow("simulated (max/proc)", sim.MaxTotalPeak, sim.MaxActivePeak,
 		fmt.Sprintf("%.1f", metrics.PercentDecrease(sim.MaxTotalPeak, sim.MaxActivePeak)))

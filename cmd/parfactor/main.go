@@ -8,7 +8,7 @@
 //	parfactor -matrix NAME|-mm FILE [-ordering METIS|PORD|AMD|AMF|RCM]
 //	          [-workers W] [-policy memory|depthfirst] [-split N]
 //	          [-front-split N] [-block-rows N] [-slaves memory|workload]
-//	          [-bound ENTRIES] [-seq] [-small]
+//	          [-fast-kernels] [-bound ENTRIES] [-seq] [-small]
 //
 // -matrix selects a problem from the paper's Table-1 suite by name
 // (pattern-only analogues are given deterministic diagonally dominant
@@ -20,11 +20,14 @@
 // path: fronts of at least -front-split rows are factored as a master task
 // plus slave row-block tasks of -block-rows rows each, with the slave set
 // chosen by -slaves (Algorithm 1 of the paper, or the MUMPS workload
-// baseline). The factors never depend on these knobs — the partition is a
-// pure function of the front and the blocked kernels are bitwise identical
-// to the element-wise ones — only wall-clock time and the per-worker
-// memory shape do. Set -front-split larger than the largest front to
-// disable splitting.
+// baseline). In the default kernel mode the factors never depend on these
+// knobs — the partition is a pure function of the front and the
+// register-blocked kernels are bitwise identical to the element-wise ones
+// — only wall-clock time and the per-worker memory shape do. With
+// -fast-kernels the update kernels reorder accumulation for full register
+// tiling: factors stay deterministic for a fixed -block-rows (any worker
+// count), but are validated by residual rather than bit equality. Set
+// -front-split larger than the largest front to disable splitting.
 package main
 
 import (
@@ -33,102 +36,36 @@ import (
 	"log"
 	"math"
 	"math/rand"
-	"os"
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
-	"repro/internal/dense"
-	"repro/internal/order"
 	"repro/internal/parmf"
 	"repro/internal/sparse"
-	"repro/internal/workload"
 )
-
-func parseOrdering(s string) (order.Method, error) {
-	switch strings.ToUpper(s) {
-	case "METIS", "ND":
-		return order.ND, nil
-	case "PORD":
-		return order.PORD, nil
-	case "AMD":
-		return order.AMD, nil
-	case "AMF":
-		return order.AMF, nil
-	case "RCM":
-		return order.RCM, nil
-	case "NATURAL":
-		return order.Natural, nil
-	}
-	return 0, fmt.Errorf("unknown ordering %q", s)
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("parfactor: ")
-	name := flag.String("matrix", "", "suite problem name (see experiments -table 1)")
-	mmFile := flag.String("mm", "", "MatrixMarket file to read instead of a suite problem")
-	ordering := flag.String("ordering", "METIS", "fill-reducing ordering")
-	workers := flag.Int("workers", 8, "worker goroutine count")
+	var common cliflags.Common
+	common.Register(flag.CommandLine, 8)
 	policy := flag.String("policy", "memory", "task selection: memory (Algorithm 2) or depthfirst")
-	split := flag.Int64("split", 0, "split masters larger than this many entries (0 = off)")
-	frontSplit := flag.Int("front-split", 128, "factor fronts at least this large via within-front master/slave tasks")
-	blockRows := flag.Int("block-rows", dense.DefaultBlockRows, "panel width / row-block height of the blocked kernels and 1D partition")
-	slaves := flag.String("slaves", "memory", "slave selection for split fronts: memory (Algorithm 1) or workload")
 	bound := flag.Int64("bound", 0, "per-worker memory bound in entries (0 = sequential peak)")
 	seq := flag.Bool("seq", false, "also run seqmf: report speedup and cross-validate factors")
-	small := flag.Bool("small", false, "use the reduced (test-scale) suite")
 	flag.Parse()
 
-	if *workers < 1 {
-		log.Fatalf("-workers must be >= 1 (got %d)", *workers)
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
 	}
-	if *frontSplit < 1 {
-		log.Fatalf("-front-split must be >= 1 (got %d)", *frontSplit)
-	}
-	if *blockRows < 1 {
-		log.Fatalf("-block-rows must be >= 1 (got %d)", *blockRows)
-	}
-
-	var a *sparse.CSC
-	switch {
-	case *mmFile != "":
-		f, err := os.Open(*mmFile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		a, err = sparse.ReadMatrixMarket(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-	case *name != "":
-		suite := workload.Suite()
-		if *small {
-			suite = workload.SmallSuite()
-		}
-		p, err := workload.ByName(suite, *name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		a = p.Matrix()
-	default:
-		log.Fatal("need -matrix NAME or -mm FILE")
-	}
-	if !a.HasValues() {
-		if err := sparse.FillDominant(a, rand.New(rand.NewSource(7))); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	m, err := parseOrdering(*ordering)
+	a, err := common.Load()
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.DefaultConfig(m, *workers)
-	cfg.SplitThreshold = *split
-	cfg.FrontSplit = *frontSplit
-	cfg.BlockRows = *blockRows
+	cfg, err := common.CoreConfig()
+	if err != nil {
+		log.Fatal(err)
+	}
 	an, err := core.Analyze(a, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -138,7 +75,7 @@ func main() {
 	fmt.Printf("analysis:  %d fronts, max front %d, %d split; sequential peak %d entries\n",
 		st.Fronts, st.MaxFront, st.SplitCount, st.SeqPeak)
 
-	pcfg := parmf.DefaultConfig(*workers)
+	pcfg := parmf.DefaultConfig(common.Workers)
 	pcfg.PeakBound = *bound
 	switch strings.ToLower(*policy) {
 	case "memory":
@@ -148,14 +85,7 @@ func main() {
 	default:
 		log.Fatalf("unknown policy %q", *policy)
 	}
-	switch strings.ToLower(*slaves) {
-	case "memory":
-		pcfg.SlavePolicy = parmf.SlavesMemory
-	case "workload":
-		pcfg.SlavePolicy = parmf.SlavesWorkload
-	default:
-		log.Fatalf("unknown slave policy %q", *slaves)
-	}
+	pcfg.SlavePolicy, _ = common.SlavePolicy() // validated above
 
 	t0 := time.Now()
 	pf, err := an.FactorizeParallel(pcfg)
@@ -164,7 +94,8 @@ func main() {
 	}
 	parT := time.Since(t0)
 	s := pf.Stats
-	fmt.Printf("parallel:  %d workers, policy %v, %.3fs wall\n", s.Workers, pcfg.Policy, parT.Seconds())
+	fmt.Printf("parallel:  %d workers, policy %v, kernels %s, %.3fs wall\n",
+		s.Workers, pcfg.Policy, s.Kernel, parT.Seconds())
 	fmt.Printf("  factors          %d entries\n", s.FactorEntries)
 	fmt.Printf("  max worker peak  %d entries (bound %d)\n", s.PeakStack, s.PeakBound)
 	for w, p := range s.WorkerPeaks {
@@ -172,7 +103,7 @@ func main() {
 	}
 	fmt.Printf("  deviations %d, waits %d, forced %d\n", s.Deviations, s.Waits, s.Forced)
 	fmt.Printf("  within-front     %d split fronts, %d slave tasks (%d stolen), slaves=%v, block-rows=%d\n",
-		s.SplitFronts, s.SlaveTasks, s.SlaveSteals, pcfg.SlavePolicy, *blockRows)
+		s.SplitFronts, s.SlaveTasks, s.SlaveSteals, pcfg.SlavePolicy, common.BlockRows)
 
 	rng := rand.New(rand.NewSource(1))
 	b := make([]float64, a.N)

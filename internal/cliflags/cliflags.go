@@ -1,0 +1,155 @@
+// Package cliflags holds the flag set, validation and input loading shared
+// by the factorization CLIs (cmd/parfactor, cmd/oocfactor): problem
+// selection, ordering, worker count, the within-front split knobs and the
+// kernel-family switch. Each command registers the common set once and
+// adds its own specific flags next to it, so the two tools cannot drift
+// apart on the meaning or validation of the shared ones.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/order"
+	"repro/internal/parmf"
+	"repro/internal/sparse"
+	"repro/internal/workload"
+)
+
+// Common is the flag set shared by the factorization CLIs.
+type Common struct {
+	Matrix      string
+	MM          string
+	Ordering    string
+	Workers     int
+	Split       int64
+	FrontSplit  int
+	BlockRows   int
+	Slaves      string
+	FastKernels bool
+	Small       bool
+}
+
+// Register declares the common flags on fs (use flag.CommandLine for the
+// process flag set). defaultWorkers seeds -workers, which differs between
+// the tools (parfactor defaults parallel, oocfactor sequential).
+func (c *Common) Register(fs *flag.FlagSet, defaultWorkers int) {
+	fs.StringVar(&c.Matrix, "matrix", "", "suite problem name (see experiments -table 1)")
+	fs.StringVar(&c.MM, "mm", "", "MatrixMarket file to read instead of a suite problem")
+	fs.StringVar(&c.Ordering, "ordering", "METIS", "fill-reducing ordering: METIS|PORD|AMD|AMF|RCM|NATURAL")
+	fs.IntVar(&c.Workers, "workers", defaultWorkers, "worker goroutine count")
+	fs.Int64Var(&c.Split, "split", 0, "split masters larger than this many entries (0 = off)")
+	fs.IntVar(&c.FrontSplit, "front-split", 128, "factor fronts at least this large via within-front master/slave tasks")
+	fs.IntVar(&c.BlockRows, "block-rows", dense.DefaultBlockRows, "panel width / row-block height of the blocked kernels and 1D partition")
+	fs.StringVar(&c.Slaves, "slaves", "memory", "slave selection for split fronts: memory (Algorithm 1) or workload")
+	fs.BoolVar(&c.FastKernels, "fast-kernels", false, "reordered-accumulation tiled kernels (residual-validated, not bitwise vs default)")
+	fs.BoolVar(&c.Small, "small", false, "use the reduced (test-scale) suite")
+}
+
+// Validate checks the numeric ranges of the common flags.
+func (c *Common) Validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("-workers must be >= 1 (got %d)", c.Workers)
+	}
+	if c.FrontSplit < 1 {
+		return fmt.Errorf("-front-split must be >= 1 (got %d)", c.FrontSplit)
+	}
+	if c.BlockRows < 1 {
+		return fmt.Errorf("-block-rows must be >= 1 (got %d)", c.BlockRows)
+	}
+	if _, err := c.Method(); err != nil {
+		return err
+	}
+	if _, err := c.SlavePolicy(); err != nil {
+		return err
+	}
+	if c.Matrix == "" && c.MM == "" {
+		return fmt.Errorf("need -matrix NAME or -mm FILE")
+	}
+	return nil
+}
+
+// Method parses -ordering.
+func (c *Common) Method() (order.Method, error) {
+	switch strings.ToUpper(c.Ordering) {
+	case "METIS", "ND":
+		return order.ND, nil
+	case "PORD":
+		return order.PORD, nil
+	case "AMD":
+		return order.AMD, nil
+	case "AMF":
+		return order.AMF, nil
+	case "RCM":
+		return order.RCM, nil
+	case "NATURAL":
+		return order.Natural, nil
+	}
+	return 0, fmt.Errorf("unknown ordering %q", c.Ordering)
+}
+
+// SlavePolicy parses -slaves.
+func (c *Common) SlavePolicy() (parmf.SlavePolicy, error) {
+	switch strings.ToLower(c.Slaves) {
+	case "memory":
+		return parmf.SlavesMemory, nil
+	case "workload":
+		return parmf.SlavesWorkload, nil
+	}
+	return 0, fmt.Errorf("unknown slave policy %q", c.Slaves)
+}
+
+// Load reads the selected matrix (-mm file or suite problem) and fills
+// pattern-only problems with deterministic diagonally dominant values.
+func (c *Common) Load() (*sparse.CSC, error) {
+	var a *sparse.CSC
+	switch {
+	case c.MM != "":
+		f, err := os.Open(c.MM)
+		if err != nil {
+			return nil, err
+		}
+		a, err = sparse.ReadMatrixMarket(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	case c.Matrix != "":
+		suite := workload.Suite()
+		if c.Small {
+			suite = workload.SmallSuite()
+		}
+		p, err := workload.ByName(suite, c.Matrix)
+		if err != nil {
+			return nil, err
+		}
+		a = p.Matrix()
+	default:
+		return nil, fmt.Errorf("need -matrix NAME or -mm FILE")
+	}
+	if !a.HasValues() {
+		if err := sparse.FillDominant(a, rand.New(rand.NewSource(7))); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// CoreConfig builds the analysis configuration the common flags describe.
+func (c *Common) CoreConfig() (core.Config, error) {
+	m, err := c.Method()
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.DefaultConfig(m, c.Workers)
+	cfg.SplitThreshold = c.Split
+	cfg.FrontSplit = c.FrontSplit
+	cfg.BlockRows = c.BlockRows
+	cfg.FastKernels = c.FastKernels
+	return cfg, nil
+}

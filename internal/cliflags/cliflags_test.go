@@ -1,0 +1,86 @@
+package cliflags
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/order"
+	"repro/internal/parmf"
+)
+
+func parse(t *testing.T, args ...string) (*Common, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var c Common
+	c.Register(fs, 4)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return &c, c.Validate()
+}
+
+func TestDefaultsValidate(t *testing.T) {
+	c, err := parse(t, "-matrix", "PRE2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers != 4 || c.BlockRows < 1 || c.FastKernels {
+		t.Fatalf("unexpected defaults %+v", c)
+	}
+	m, err := c.Method()
+	if err != nil || m != order.ND {
+		t.Fatalf("default ordering %v, %v", m, err)
+	}
+	sp, err := c.SlavePolicy()
+	if err != nil || sp != parmf.SlavesMemory {
+		t.Fatalf("default slaves %v, %v", sp, err)
+	}
+}
+
+func TestValidationRejects(t *testing.T) {
+	cases := [][]string{
+		{"-matrix", "PRE2", "-workers", "0"},
+		{"-matrix", "PRE2", "-front-split", "0"},
+		{"-matrix", "PRE2", "-block-rows", "-3"},
+		{"-matrix", "PRE2", "-ordering", "BOGUS"},
+		{"-matrix", "PRE2", "-slaves", "nobody"},
+		{}, // neither -matrix nor -mm
+	}
+	for _, args := range cases {
+		if _, err := parse(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestLoadSuiteProblem(t *testing.T) {
+	c, err := parse(t, "-matrix", "GUPTA3", "-small", "-fast-kernels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N == 0 || !a.HasValues() {
+		t.Fatalf("loaded matrix n=%d values=%v (GUPTA3 must be filled)", a.N, a.HasValues())
+	}
+	cfg, err := c.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.FastKernels || cfg.FrontSplit != 128 {
+		t.Fatalf("core config %+v", cfg)
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	c, err := parse(t, "-matrix", "NO_SUCH_PROBLEM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(); err == nil || !strings.Contains(err.Error(), "NO_SUCH_PROBLEM") {
+		t.Fatalf("unknown problem error %v", err)
+	}
+}

@@ -52,6 +52,12 @@ type Config struct {
 	// executors. 0 uses dense.DefaultBlockRows; negative selects the
 	// element-wise reference kernels (bitwise-identical, slower).
 	BlockRows int
+	// FastKernels routes every numeric factorization through the
+	// reordered-accumulation fast kernel family (dense.KernelFast):
+	// fully tiled updates validated by residual instead of bit equality.
+	// Factors stay deterministic for a fixed BlockRows, at any worker
+	// count, but are no longer bitwise comparable to the default mode.
+	FastKernels bool
 	// MapOptions overrides the static mapping (zero value = defaults).
 	MapOptions assembly.MapOptions
 	// Params is the simulated machine model (zero value = defaults).
@@ -166,6 +172,7 @@ func (an *Analysis) WithSplit(threshold int64, minPiv int) (*Analysis, error) {
 func (an *Analysis) Factorize() (*seqmf.Factors, error) {
 	opt := seqmf.DefaultOptions()
 	opt.BlockRows = an.blockRows()
+	opt.FastKernels = an.Config.FastKernels
 	return seqmf.Factorize(an.Permuted, an.Tree, opt)
 }
 
@@ -226,6 +233,9 @@ func (an *Analysis) FactorizeParallel(cfg parmf.Config) (*parmf.Factors, error) 
 	if cfg.BlockRows == 0 {
 		cfg.BlockRows = an.Config.BlockRows
 	}
+	if an.Config.FastKernels {
+		cfg.FastKernels = true
+	}
 	return parmf.Factorize(an.Permuted, an.Tree, cfg)
 }
 
@@ -264,6 +274,7 @@ func (an *Analysis) FactorizeOOC() (*seqmf.Factors, *ooc.FileStore, error) {
 	opt := seqmf.DefaultOptions()
 	opt.Store = st
 	opt.BlockRows = an.blockRows()
+	opt.FastKernels = an.Config.FastKernels
 	f, err := seqmf.Factorize(an.Permuted, an.Tree, opt)
 	if err != nil {
 		st.Close()

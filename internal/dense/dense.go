@@ -129,34 +129,20 @@ func PartialCholesky(f *Matrix, npiv int) error {
 
 // ExtendAdd scatters the child contribution block cb (order len(map_))
 // into the parent front f: cb(i,j) is added at f(map_[i], map_[j]).
+// Consecutive index runs in map_ are collapsed into contiguous vector
+// adds (see extendadd.go); callers that scatter many blocks should
+// precompute the runs once and use ExtendAddRuns directly.
 func ExtendAdd(f *Matrix, cb *Matrix, map_ []int) {
-	if cb.R != len(map_) || cb.C != len(map_) {
-		panic("dense: ExtendAdd index map length mismatch")
-	}
-	for i := 0; i < cb.R; i++ {
-		fi := map_[i]
-		cbRow := cb.Row(i)
-		fRow := f.Row(fi)
-		for j := 0; j < cb.C; j++ {
-			fRow[map_[j]] += cbRow[j]
-		}
-	}
+	var buf [32]IndexRun
+	ExtendAddRuns(f, cb, map_, AppendRuns(buf[:0], map_))
 }
 
 // ExtendAddLower scatters the lower triangle of cb into the lower triangle
 // of f (symmetric fronts). map_ must be increasing so triangles map to
-// triangles.
+// triangles. Run-merged like ExtendAdd.
 func ExtendAddLower(f *Matrix, cb *Matrix, map_ []int) {
-	if cb.R != len(map_) || cb.C != len(map_) {
-		panic("dense: ExtendAddLower index map length mismatch")
-	}
-	for i := 0; i < cb.R; i++ {
-		fRow := f.Row(map_[i])
-		cbRow := cb.Row(i)
-		for j := 0; j <= i; j++ {
-			fRow[map_[j]] += cbRow[j]
-		}
-	}
+	var buf [32]IndexRun
+	ExtendAddLowerRuns(f, cb, map_, AppendRuns(buf[:0], map_))
 }
 
 // MatVec computes y += alpha * M * x for a dense matrix.

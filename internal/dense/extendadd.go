@@ -1,0 +1,91 @@
+// Run-merged extend-add: the scatter maps of the multifrontal assembly are
+// sorted and, in practice, full of consecutive stretches (a child's rows
+// are contiguous slices of the parent front whenever the orderings keep
+// supernodes together). Detecting those runs once per child turns the
+// scatter-heavy inner loop of ExtendAdd into plain vector adds over
+// contiguous spans — copy-like memory traffic instead of per-element
+// indexed gather/scatter. Each destination element still receives exactly
+// one addition, so the result is bitwise identical to the element-wise
+// scatter no matter how the runs fall.
+package dense
+
+// IndexRun is one maximal run of consecutive destination indices in a
+// scatter map: source positions [J0,J0+Len) map onto destination indices
+// [C0,C0+Len).
+type IndexRun struct {
+	J0, C0, Len int32
+}
+
+// AppendRuns appends the maximal consecutive runs of map_ to dst (reusing
+// its capacity) and returns the extended slice. Callers that scatter many
+// blocks keep one runs buffer and rebuild it per map.
+func AppendRuns(dst []IndexRun, map_ []int) []IndexRun {
+	for j := 0; j < len(map_); {
+		c0 := map_[j]
+		e := j + 1
+		for e < len(map_) && map_[e] == map_[e-1]+1 {
+			e++
+		}
+		dst = append(dst, IndexRun{J0: int32(j), C0: int32(c0), Len: int32(e - j)})
+		j = e
+	}
+	return dst
+}
+
+// addSpan computes dst[j] += src[j] over the whole span, 4x-unrolled.
+func addSpan(dst, src []float64) {
+	n := len(src)
+	dst = dst[:n:n]
+	src = src[:n:n]
+	j := 0
+	for ; j+3 < n; j += 4 {
+		dst[j] += src[j]
+		dst[j+1] += src[j+1]
+		dst[j+2] += src[j+2]
+		dst[j+3] += src[j+3]
+	}
+	for ; j < n; j++ {
+		dst[j] += src[j]
+	}
+}
+
+// ExtendAddRuns scatters cb into f like ExtendAdd, using precomputed runs
+// (AppendRuns over map_). The runs only describe the column structure; the
+// row scatter stays indexed because distinct front rows are strided.
+func ExtendAddRuns(f *Matrix, cb *Matrix, map_ []int, runs []IndexRun) {
+	if cb.R != len(map_) || cb.C != len(map_) {
+		panic("dense: ExtendAdd index map length mismatch")
+	}
+	for i := 0; i < cb.R; i++ {
+		fRow := f.Row(map_[i])
+		cbRow := cb.Row(i)
+		for _, r := range runs {
+			addSpan(fRow[r.C0:int(r.C0)+int(r.Len)], cbRow[r.J0:int(r.J0)+int(r.Len)])
+		}
+	}
+}
+
+// ExtendAddLowerRuns scatters the lower triangle of cb into the lower
+// triangle of f (symmetric fronts, increasing map_), using precomputed
+// runs. Row i only receives source columns [0, i]; the run that straddles
+// the diagonal is clipped.
+func ExtendAddLowerRuns(f *Matrix, cb *Matrix, map_ []int, runs []IndexRun) {
+	if cb.R != len(map_) || cb.C != len(map_) {
+		panic("dense: ExtendAddLower index map length mismatch")
+	}
+	for i := 0; i < cb.R; i++ {
+		fRow := f.Row(map_[i])
+		cbRow := cb.Row(i)
+		for _, r := range runs {
+			j0 := int(r.J0)
+			if j0 > i {
+				break
+			}
+			l := int(r.Len)
+			if j0+l > i+1 {
+				l = i + 1 - j0
+			}
+			addSpan(fRow[r.C0:int(r.C0)+l], cbRow[j0:j0+l])
+		}
+	}
+}

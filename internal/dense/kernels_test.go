@@ -1,0 +1,294 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestKernelDefaultLUBitwise pins the dispatch layer's headline guarantee:
+// the register-blocked default kernels perform the reference per-element
+// operation order, so Kernel.PartialLU is bitwise identical to the
+// element-wise PartialLU at every panel width.
+func TestKernelDefaultLUBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 5, 17, 40, 73, 129} {
+		for _, npiv := range []int{0, 1, n / 3, n - 1, n} {
+			if npiv < 0 {
+				continue
+			}
+			a := randomDiagDominant(n, rng)
+			sparsify(a, 0.4, false, rng)
+			ref := cloneM(a)
+			if err := PartialLU(ref, npiv, 1e-14); err != nil {
+				t.Fatal(err)
+			}
+			for _, block := range []int{1, 3, 8, 64, n, 2 * n} {
+				got := cloneM(a)
+				if err := KernelDefault.PartialLU(got, npiv, 1e-14, block); err != nil {
+					t.Fatalf("n=%d npiv=%d block=%d: %v", n, npiv, block, err)
+				}
+				bitsEqual(t, "KernelDefault LU", ref, got)
+			}
+		}
+	}
+}
+
+// TestKernelDefaultCholeskyBitwise is the symmetric counterpart: the
+// register-blocked trailing update (gathered skip pattern, 4x1 row tiles)
+// replays PartialCholesky bit for bit.
+func TestKernelDefaultCholeskyBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, 6, 19, 33, 50, 90} {
+		for _, npiv := range []int{0, 1, n / 2, n} {
+			a := randomSPD(n, rng)
+			sparsify(a, 0.5, true, rng)
+			ref := cloneM(a)
+			if err := PartialCholesky(ref, npiv); err != nil {
+				t.Fatal(err)
+			}
+			for _, block := range []int{1, 4, 7, 64, n, 3 * n} {
+				got := cloneM(a)
+				if err := KernelDefault.PartialCholesky(got, npiv, block); err != nil {
+					t.Fatalf("n=%d npiv=%d block=%d: %v", n, npiv, block, err)
+				}
+				for i := 0; i < n; i++ {
+					for j := 0; j <= i; j++ {
+						if math.Float64bits(ref.At(i, j)) != math.Float64bits(got.At(i, j)) {
+							t.Fatalf("n=%d npiv=%d block=%d: (%d,%d) %g vs %g",
+								n, npiv, block, i, j, ref.At(i, j), got.At(i, j))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelDefaultRowKernelsBitwise exercises the row kernels directly
+// against the PR-3 blocked ones over ragged row partitions — the unit the
+// within-front executor schedules.
+func TestKernelDefaultRowKernelsBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, npiv := 61, 24
+	lu := randomDiagDominant(n, rng)
+	sparsify(lu, 0.3, false, rng)
+	ref := cloneM(lu)
+	if err := PanelLU(ref, 0, npiv, 1e-14); err != nil {
+		t.Fatal(err)
+	}
+	got := cloneM(ref)
+	LUApplyRows(ref, 0, npiv, npiv, n)
+	for _, r := range [][2]int{{npiv, npiv + 1}, {npiv + 1, 40}, {40, 40}, {40, n}} {
+		KernelDefault.LUApplyRows(got, 0, npiv, r[0], r[1])
+	}
+	bitsEqual(t, "LUApplyRows RB", ref, got)
+
+	ch := randomSPD(n, rng)
+	sparsify(ch, 0.5, true, rng)
+	refC := cloneM(ch)
+	if err := PanelCholesky(refC, 0, npiv); err != nil {
+		t.Fatal(err)
+	}
+	gotC := cloneM(refC)
+	CholeskyScaleRows(refC, 0, npiv, npiv, n)
+	CholeskyUpdateRows(refC, 0, npiv, npiv, n)
+	KernelDefault.CholeskyScaleRows(gotC, 0, npiv, npiv, n)
+	for _, r := range [][2]int{{npiv, 30}, {30, 31}, {31, n}} {
+		KernelDefault.CholeskyUpdateRows(gotC, 0, npiv, r[0], r[1])
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Float64bits(refC.At(i, j)) != math.Float64bits(gotC.At(i, j)) {
+				t.Fatalf("cholesky RB (%d,%d): %g vs %g", i, j, refC.At(i, j), gotC.At(i, j))
+			}
+		}
+	}
+}
+
+// TestKernelFastResidual validates the reordered-accumulation kernels the
+// way they are specified: not bitwise, but numerically — a full fast LU
+// solves a random system to machine-level residual, and fast Cholesky
+// factors agree with the default ones to tight relative tolerance.
+func TestKernelFastResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 96
+	a := randomDiagDominant(n, rng)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	MatVec(a, x, b, 1)
+	lu := cloneM(a)
+	if err := KernelFast.PartialLU(lu, n, 1e-14, 16); err != nil {
+		t.Fatal(err)
+	}
+	y := append([]float64(nil), b...)
+	for i := 0; i < n; i++ {
+		for k := 0; k < i; k++ {
+			y[i] -= lu.At(i, k) * y[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		for k := i + 1; k < n; k++ {
+			y[i] -= lu.At(i, k) * y[k]
+		}
+		y[i] /= lu.At(i, i)
+	}
+	for i := range x {
+		if math.Abs(y[i]-x[i]) > 1e-9*(1+math.Abs(x[i])) {
+			t.Fatalf("fast LU solve off at %d: %g vs %g", i, y[i], x[i])
+		}
+	}
+
+	s := randomSPD(n, rng)
+	sparsify(s, 0.4, true, rng)
+	def := cloneM(s)
+	if err := KernelDefault.PartialCholesky(def, n/2, 16); err != nil {
+		t.Fatal(err)
+	}
+	fast := cloneM(s)
+	if err := KernelFast.PartialCholesky(fast, n/2, 16); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			d := math.Abs(def.At(i, j) - fast.At(i, j))
+			if d > 1e-8*(1+math.Abs(def.At(i, j))) {
+				t.Fatalf("fast cholesky (%d,%d): %g vs %g", i, j, fast.At(i, j), def.At(i, j))
+			}
+		}
+	}
+}
+
+// TestKernelFastPartitionInvariance pins the determinism the parallel
+// executor relies on in fast mode: the fast row kernels compute identical
+// bits however the trailing rows are grouped into blocks.
+func TestKernelFastPartitionInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, npiv := 47, 18
+
+	lu := randomDiagDominant(n, rng)
+	sparsify(lu, 0.3, false, rng)
+	if err := PanelLU(lu, 0, npiv, 1e-14); err != nil {
+		t.Fatal(err)
+	}
+	apply := func(parts [][2]int) *Matrix {
+		f := cloneM(lu)
+		for _, r := range parts {
+			KernelFast.LUApplyRows(f, 0, npiv, r[0], r[1])
+		}
+		return f
+	}
+	ref := apply([][2]int{{npiv, n}})
+	bitsEqual(t, "fast LU ragged", ref, apply([][2]int{{npiv, npiv + 3}, {npiv + 3, 30}, {30, n}}))
+
+	ch := randomSPD(n, rng)
+	sparsify(ch, 0.4, true, rng)
+	if err := PanelCholesky(ch, 0, npiv); err != nil {
+		t.Fatal(err)
+	}
+	CholeskyScaleRows(ch, 0, npiv, npiv, n)
+	update := func(parts [][2]int) *Matrix {
+		f := cloneM(ch)
+		for _, r := range parts {
+			KernelFast.CholeskyUpdateRows(f, 0, npiv, r[0], r[1])
+		}
+		return f
+	}
+	refC := update([][2]int{{npiv, n}})
+	gotC := update([][2]int{{npiv, npiv + 1}, {npiv + 1, 33}, {33, n}})
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Float64bits(refC.At(i, j)) != math.Float64bits(gotC.At(i, j)) {
+				t.Fatalf("fast cholesky partition (%d,%d): %g vs %g", i, j, refC.At(i, j), gotC.At(i, j))
+			}
+		}
+	}
+}
+
+// referenceExtendAdd is the pre-run-merge element-wise scatter, kept as
+// the oracle for the run-merged implementation.
+func referenceExtendAdd(f *Matrix, cb *Matrix, map_ []int, lower bool) {
+	for i := 0; i < cb.R; i++ {
+		fRow := f.Row(map_[i])
+		cbRow := cb.Row(i)
+		jmax := cb.C
+		if lower {
+			jmax = i + 1
+		}
+		for j := 0; j < jmax; j++ {
+			fRow[map_[j]] += cbRow[j]
+		}
+	}
+}
+
+// TestExtendAddRunsMatchesScatter checks the run-merged extend-add against
+// the element-wise oracle over maps with every run shape: singletons, long
+// consecutive stretches, and mixes, for both the full and the lower
+// scatter.
+func TestExtendAddRunsMatchesScatter(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 60; trial++ {
+		nf := 8 + rng.Intn(40)
+		// Build an increasing map with random run structure.
+		var map_ []int
+		next := rng.Intn(3)
+		for next < nf {
+			map_ = append(map_, next)
+			if rng.Float64() < 0.6 {
+				next++ // extend the run
+			} else {
+				next += 2 + rng.Intn(3) // break it
+			}
+		}
+		if len(map_) == 0 {
+			continue
+		}
+		cb := New(len(map_), len(map_))
+		for i := range cb.A {
+			cb.A[i] = rng.NormFloat64()
+		}
+		for _, lower := range []bool{false, true} {
+			want := New(nf, nf)
+			got := New(nf, nf)
+			for i := range want.A {
+				v := rng.NormFloat64()
+				want.A[i], got.A[i] = v, v
+			}
+			referenceExtendAdd(want, cb, map_, lower)
+			if lower {
+				ExtendAddLower(got, cb, map_)
+			} else {
+				ExtendAdd(got, cb, map_)
+			}
+			bitsEqual(t, "extend-add runs", want, got)
+		}
+	}
+}
+
+// TestAppendRuns covers the run detector's edge shapes directly.
+func TestAppendRuns(t *testing.T) {
+	cases := []struct {
+		map_ []int
+		want []IndexRun
+	}{
+		{nil, nil},
+		{[]int{4}, []IndexRun{{0, 4, 1}}},
+		{[]int{1, 2, 3}, []IndexRun{{0, 1, 3}}},
+		{[]int{0, 2, 4}, []IndexRun{{0, 0, 1}, {1, 2, 1}, {2, 4, 1}}},
+		{[]int{3, 4, 8, 9, 10, 12}, []IndexRun{{0, 3, 2}, {2, 8, 3}, {5, 12, 1}}},
+	}
+	for _, c := range cases {
+		got := AppendRuns(nil, c.map_)
+		if len(got) != len(c.want) {
+			t.Fatalf("map %v: runs %v, want %v", c.map_, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("map %v: run %d = %v, want %v", c.map_, i, got[i], c.want[i])
+			}
+		}
+	}
+}

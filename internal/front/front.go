@@ -45,12 +45,16 @@ func NewShared(pa *sparse.CSC, tree *assembly.Tree) (*Shared, error) {
 }
 
 // Assembler carries the per-worker scratch needed to assemble fronts: the
-// global→local index map and its stamp array. Each concurrent worker must
-// own its own Assembler; all may share one Shared.
+// global→local index map and its stamp array, plus the reusable index and
+// run buffers of the extend-add — in the steady state an Assembler
+// assembles fronts without allocating. Each concurrent worker must own
+// its own Assembler; all may share one Shared.
 type Assembler struct {
 	sh    *Shared
 	loc   []int // global -> local front index, valid where stamp == node
 	stamp []int
+	idx   []int            // extend-add scratch: child row -> parent local
+	runs  []dense.IndexRun // extend-add scratch: consecutive-index runs
 }
 
 // NewAssembler returns a fresh assembler over sh.
@@ -135,17 +139,23 @@ func (a *Assembler) ExtendAdd(ni int, f *dense.Matrix, c int, cb *dense.Matrix) 
 		return 0, fmt.Errorf("front: child %d CB missing at node %d", c, ni)
 	}
 	child := &a.sh.Tree.Nodes[c]
-	idx := make([]int, len(child.Rows))
+	if cap(a.idx) < len(child.Rows) {
+		a.idx = make([]int, len(child.Rows))
+	}
+	idx := a.idx[:len(child.Rows)]
 	for k, g := range child.Rows {
 		if a.stamp[g] != ni {
 			return 0, fmt.Errorf("front: child %d row %d not in parent %d front", c, g, ni)
 		}
 		idx[k] = a.loc[g]
 	}
+	// Collapse consecutive-index runs once per child; the scatter then
+	// moves contiguous spans instead of per-element indexed adds.
+	a.runs = dense.AppendRuns(a.runs[:0], idx)
 	if a.sh.Tree.Kind == sparse.Symmetric {
-		dense.ExtendAddLower(f, cb, idx)
+		dense.ExtendAddLowerRuns(f, cb, idx, a.runs)
 	} else {
-		dense.ExtendAdd(f, cb, idx)
+		dense.ExtendAddRuns(f, cb, idx, a.runs)
 	}
 	return assembly.CBEntries(child, a.sh.Tree.Kind), nil
 }
@@ -160,20 +170,27 @@ func Eliminate(f *dense.Matrix, npiv int, kind sparse.Type, tol float64) error {
 	return dense.PartialLU(f, npiv, tol)
 }
 
-// EliminateBlocked is Eliminate through the blocked (panel + row-block)
-// kernels with the given panel width; blockRows <= 0 falls back to the
-// element-wise kernels. Both paths produce bitwise-identical factors (the
-// blocked kernels replicate the element-wise operation order), so callers
-// may mix them freely across executors.
-func EliminateBlocked(f *dense.Matrix, npiv int, kind sparse.Type, tol float64, blockRows int) error {
+// EliminateKernel runs the partial factorization through the selected
+// kernel family of the dispatch layer (internal/dense). With
+// dense.KernelDefault, blockRows <= 0 falls back to the element-wise
+// kernels and every path produces bitwise-identical factors, so callers
+// may mix block sizes freely across executors. dense.KernelFast always
+// runs blocked (blockRows <= 0 uses dense.DefaultBlockRows) and is
+// validated by residual, not bit equality; it is still deterministic for
+// a fixed panel width, independent of row partition and worker count.
+func EliminateKernel(f *dense.Matrix, npiv int, kind sparse.Type, tol float64, blockRows int, kern dense.Kernel) error {
+	if kern == dense.KernelFast && blockRows <= 0 {
+		blockRows = dense.DefaultBlockRows
+	}
 	if blockRows <= 0 {
 		return Eliminate(f, npiv, kind, tol)
 	}
 	if kind == sparse.Symmetric {
-		return dense.BlockedPartialCholesky(f, npiv, blockRows)
+		return kern.PartialCholesky(f, npiv, blockRows)
 	}
-	return dense.BlockedPartialLU(f, npiv, tol, blockRows)
+	return kern.PartialLU(f, npiv, tol, blockRows)
 }
+
 
 // ExtractFactor copies the factor pieces out of the eliminated front: the
 // nf x npiv lower trapezoid (diag: Cholesky=L(k,k), LU=1 implicit) and, for
@@ -200,19 +217,20 @@ func ExtractFactor(f *dense.Matrix, rows []int, npiv int, kind sparse.Type) Node
 
 // ExtractCB copies the contribution block (the trailing Schur complement)
 // out of the eliminated front, or returns nil when the node has no CB.
-// Symmetric fronts copy the lower triangle only.
-func ExtractCB(f *dense.Matrix, npiv, ncb int, kind sparse.Type) *dense.Matrix {
+// Symmetric fronts copy the lower triangle only. The block is drawn from
+// the arena (nil allocates fresh); it is consumed by the parent's
+// extend-add and should be freed into the consuming worker's arena.
+func ExtractCB(a *Arena, f *dense.Matrix, npiv, ncb int, kind sparse.Type) *dense.Matrix {
 	if ncb == 0 {
 		return nil
 	}
-	cb := dense.New(ncb, ncb)
+	cb := a.Matrix(ncb, ncb)
 	for i := 0; i < ncb; i++ {
-		for j := 0; j < ncb; j++ {
-			if kind == sparse.Symmetric && j > i {
-				continue
-			}
-			cb.Set(i, j, f.At(npiv+i, npiv+j))
+		src := f.Row(npiv + i)[npiv : npiv+ncb]
+		if kind == sparse.Symmetric {
+			src = src[:i+1]
 		}
+		copy(cb.Row(i), src)
 	}
 	return cb
 }

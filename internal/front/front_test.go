@@ -39,7 +39,7 @@ func walk(t *testing.T, pa *sparse.CSC, tree *assembly.Tree) *Factors {
 			t.Fatal(err)
 		}
 		fs.SetNode(ni, ExtractFactor(fr, rows, nd.NPiv(), pa.Kind))
-		cbs[ni] = ExtractCB(fr, nd.NPiv(), nd.NCB(), pa.Kind)
+		cbs[ni] = ExtractCB(nil, fr, nd.NPiv(), nd.NCB(), pa.Kind)
 	}
 	return fs
 }
@@ -126,7 +126,7 @@ func TestExtractFullFront(t *testing.T) {
 			}
 		}
 	}
-	if ExtractCB(f, n, 0, sparse.Unsymmetric) != nil {
+	if ExtractCB(nil, f, n, 0, sparse.Unsymmetric) != nil {
 		t.Error("empty CB not nil")
 	}
 }

@@ -23,6 +23,12 @@ type ExecStats struct {
 	// file-backed store blocks are discharged as they are spilled and the
 	// peak approaches the stack-only cost the paper argues for.
 	ResidentPeak int64
+
+	// Kernel records which update micro-kernel family the factorization
+	// ran through (dense.Kernel.String(): "default" is the
+	// register-blocked, bitwise-deterministic family, "fast" the
+	// reordered-accumulation tiled one).
+	Kernel string
 }
 
 // Meter is a concurrency-safe gauge of resident memory (model entries)

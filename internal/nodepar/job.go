@@ -42,8 +42,9 @@ type Job struct {
 	Kind   sparse.Type
 	Blocks []Block
 
-	f   *dense.Matrix
-	tol float64
+	f    *dense.Matrix
+	tol  float64
+	kern dense.Kernel
 
 	k0, k1  int
 	phase   Phase
@@ -52,8 +53,11 @@ type Job struct {
 }
 
 // NewJob builds the job for one assembled front. blocks must come from
-// Partition (optionally with preferences assigned).
-func NewJob(node int, f *dense.Matrix, npiv int, kind sparse.Type, tol float64, blocks []Block) *Job {
+// Partition (optionally with preferences assigned). kern selects the
+// row-kernel family every task runs through — the same family must be
+// used for the whole factorization so the factors are one consistent
+// numeric mode.
+func NewJob(node int, f *dense.Matrix, npiv int, kind sparse.Type, tol float64, blocks []Block, kern dense.Kernel) *Job {
 	return &Job{
 		Node:   node,
 		NPiv:   npiv,
@@ -62,6 +66,7 @@ func NewJob(node int, f *dense.Matrix, npiv int, kind sparse.Type, tol float64, 
 		Blocks: blocks,
 		f:      f,
 		tol:    tol,
+		kern:   kern,
 		state:  make([]uint8, len(blocks)),
 	}
 }
@@ -165,17 +170,18 @@ func (j *Job) rows(i int) (int, int) {
 	return r0, b.R1
 }
 
-// Run executes task i's kernel for the current panel and phase. Call
-// without the scheduling lock; the task must have been Claimed.
+// Run executes task i's kernel for the current panel and phase through
+// the job's kernel family. Call without the scheduling lock; the task
+// must have been Claimed.
 func (j *Job) Run(i int) {
 	r0, r1 := j.rows(i)
 	switch {
 	case j.Kind != sparse.Symmetric:
-		dense.LUApplyRows(j.f, j.k0, j.k1, r0, r1)
+		j.kern.LUApplyRows(j.f, j.k0, j.k1, r0, r1)
 	case j.phase == PhaseScale:
-		dense.CholeskyScaleRows(j.f, j.k0, j.k1, r0, r1)
+		j.kern.CholeskyScaleRows(j.f, j.k0, j.k1, r0, r1)
 	default:
-		dense.CholeskyUpdateRows(j.f, j.k0, j.k1, r0, r1)
+		j.kern.CholeskyUpdateRows(j.f, j.k0, j.k1, r0, r1)
 	}
 }
 

@@ -96,7 +96,7 @@ func driveJob(t *testing.T, f *dense.Matrix, npiv int, kind sparse.Type, blockRo
 	for i := range blocks {
 		blocks[i].Pref = i % workers
 	}
-	job := NewJob(0, f, npiv, kind, 1e-14, blocks)
+	job := NewJob(0, f, npiv, kind, 1e-14, blocks, dense.KernelDefault)
 
 	var mu sync.Mutex
 	cond := sync.NewCond(&mu)

@@ -139,6 +139,13 @@ type Config struct {
 	BlockRows int
 	// SlavePolicy picks the slave-selection heuristic for split fronts.
 	SlavePolicy SlavePolicy
+	// FastKernels selects the reordered-accumulation fast kernel family
+	// (dense.KernelFast) for every front, split or not: fully tiled
+	// updates that trade the bitwise guarantee for speed, validated by
+	// residual. Still deterministic for a fixed BlockRows — the fast
+	// kernels compute the same bits whatever the row partition or worker
+	// count, they just differ from the element-wise reference.
+	FastKernels bool
 }
 
 // DefaultConfig returns the standard settings for the given worker count.
@@ -301,9 +308,14 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 		cbOwner: make([]int, tree.Len()),
 		loads:   make([]int64, cfg.Workers),
 	}
+	kern := dense.KernelDefault
+	if cfg.FastKernels {
+		kern = dense.KernelFast
+	}
 	st.cond = sync.NewCond(&st.mu)
 	st.stats.Workers = cfg.Workers
 	st.stats.PeakBound = cfg.PeakBound
+	st.stats.Kernel = kern.String()
 	for i := range tree.Nodes {
 		st.unfin[i] = len(tree.Nodes[i].Children)
 	}
@@ -339,7 +351,8 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 		go func(id int) {
 			defer wg.Done()
 			worker{id: id, cfg: cfg, sh: sh, st: st, pl: pl, tracker: tracker,
-				out: f.store, meter: meter, asm: front.NewAssembler(sh)}.run()
+				out: f.store, meter: meter, asm: front.NewAssembler(sh),
+				arena: front.NewArena(), kern: kern}.run()
 		}(w)
 	}
 	wg.Wait()
@@ -436,6 +449,8 @@ type worker struct {
 	out     front.Store
 	meter   *memory.Meter
 	asm     *front.Assembler
+	arena   *front.Arena // front/CB slab recycler; single-threaded, see front.Arena
+	kern    dense.Kernel
 }
 
 // taskResult carries a finished task's bookkeeping back under the lock.
@@ -668,7 +683,7 @@ func (w worker) processNode(ni int, r *taskResult) error {
 	}
 	w.tracker.AllocFront(w.id, charge)
 	w.meter.Add(fe)
-	fr := dense.New(nf, nf)
+	fr := w.arena.Matrix(nf, nf)
 	if err := w.asm.Scatter(ni, fr); err != nil {
 		return err
 	}
@@ -688,6 +703,10 @@ func (w worker) processNode(ni int, r *taskResult) error {
 		ce := assembly.CBEntries(&tree.Nodes[c], tree.Kind)
 		w.tracker.PopCB(owner, ce)
 		w.meter.Add(-ce)
+		// The consumed CB recycles into *this* worker's arena, whoever
+		// produced it: this worker owns it now, and the scheduling mutex
+		// ordered the handoff.
+		w.arena.Free(w.st.cbs[c])
 		w.st.cbs[c] = nil
 	}
 
@@ -695,7 +714,7 @@ func (w worker) processNode(ni int, r *taskResult) error {
 		if err := w.runSplitFront(ni, fr, r); err != nil {
 			return err
 		}
-	} else if err := front.EliminateBlocked(fr, npiv, tree.Kind, w.cfg.PivotTol, w.cfg.BlockRows); err != nil {
+	} else if err := front.EliminateKernel(fr, npiv, tree.Kind, w.cfg.PivotTol, w.cfg.BlockRows, w.kern); err != nil {
 		return fmt.Errorf("parmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
 	}
 
@@ -710,12 +729,16 @@ func (w worker) processNode(ni int, r *taskResult) error {
 	w.tracker.FreeFront(w.id, charge)
 	w.meter.Add(-fe)
 
-	if cb := front.ExtractCB(fr, npiv, nd.NCB(), tree.Kind); cb != nil {
+	if cb := front.ExtractCB(w.arena, fr, npiv, nd.NCB(), tree.Kind); cb != nil {
 		w.st.cbs[ni] = cb
 		w.st.cbOwner[ni] = w.id
 		w.tracker.PushCB(w.id, assembly.CBEntries(nd, tree.Kind))
 		w.meter.Add(assembly.CBEntries(nd, tree.Kind))
 	}
+	// The front is dead (factor block extracted, CB copied out): recycle.
+	// For a split front this is safe — every row-block task finished
+	// under the phase barriers before runSplitFront returned.
+	w.arena.Free(fr)
 
 	r.fronts++
 	if nf > r.maxFront {
@@ -753,7 +776,7 @@ func (w worker) runSplitFront(ni int, fr *dense.Matrix, r *taskResult) error {
 	blocks := nodepar.Partition(nf, w.cfg.BlockRows)
 	st.mu.Lock()
 	w.assignSlavesLocked(nd, blocks)
-	job := nodepar.NewJob(ni, fr, npiv, tree.Kind, w.cfg.PivotTol, blocks)
+	job := nodepar.NewJob(ni, fr, npiv, tree.Kind, w.cfg.PivotTol, blocks, w.kern)
 	st.stats.SplitFronts++
 	st.mu.Unlock()
 

@@ -73,6 +73,11 @@ type Options struct {
 	// — the same numeric path the parallel executor's within-front tasks
 	// use, and bitwise identical to the element-wise kernels (0).
 	BlockRows int
+	// FastKernels selects the reordered-accumulation fast kernel family
+	// (dense.KernelFast): fully tiled updates that trade the bitwise
+	// guarantee for speed, validated by residual. Deterministic for a
+	// fixed BlockRows.
+	FastKernels bool
 	// Store receives each front's factor block the moment it is
 	// extracted; nil keeps factors in memory (front.Factors).
 	Store front.Store
@@ -96,9 +101,15 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		Kind: pa.Kind,
 		N:    pa.N,
 	}
+	kern := dense.KernelDefault
+	if opt.FastKernels {
+		kern = dense.KernelFast
+	}
+	f.Stats.Kernel = kern.String()
 	var meter *memory.Meter
 	f.store, f.fs, meter = front.ResolveStore(opt.Store, tree, pa.Kind, opt.Meter)
 	asm := front.NewAssembler(sh)
+	arena := front.NewArena() // fronts and CBs recycle through here
 
 	cbs := make([]*dense.Matrix, tree.Len()) // live contribution blocks
 	var stack int64                          // live CB entries (model units)
@@ -114,7 +125,7 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		nf := nd.NFront()
 		rows := asm.Begin(ni)
 
-		fr := dense.New(nf, nf)
+		fr := arena.Matrix(nf, nf)
 		frontEntries := assembly.FrontEntries(nd, tree.Kind)
 		meter.Add(frontEntries)
 		bump(stack + frontEntries)
@@ -135,12 +146,13 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 			ce := assembly.CBEntries(&tree.Nodes[c], tree.Kind)
 			stack -= ce
 			meter.Add(-ce)
+			arena.Free(cbs[c])
 			cbs[c] = nil
 		}
 		bump(stack + frontEntries)
 
 		// Partial factorization.
-		if err := front.EliminateBlocked(fr, npiv, pa.Kind, opt.PivotTol, opt.BlockRows); err != nil {
+		if err := front.EliminateKernel(fr, npiv, pa.Kind, opt.PivotTol, opt.BlockRows, kern); err != nil {
 			return nil, fmt.Errorf("seqmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
 		}
 
@@ -157,14 +169,15 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		}
 		meter.Add(-frontEntries)
 
-		// Stack the contribution block.
-		if cb := front.ExtractCB(fr, npiv, nd.NCB(), tree.Kind); cb != nil {
+		// Stack the contribution block; the dead front recycles.
+		if cb := front.ExtractCB(arena, fr, npiv, nd.NCB(), tree.Kind); cb != nil {
 			cbs[ni] = cb
 			ce := assembly.CBEntries(nd, tree.Kind)
 			stack += ce
 			meter.Add(ce)
 			bump(stack)
 		}
+		arena.Free(fr)
 	}
 	f.Stats.FinalStack = stack
 	if err := f.store.Flush(); err != nil {
