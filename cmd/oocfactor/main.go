@@ -9,7 +9,7 @@
 //
 //	oocfactor -matrix NAME|-mm FILE [-ordering METIS|PORD|AMD|AMF|RCM]
 //	          [-workers W] [-budget ENTRIES] [-dir DIR] [-prefetch N]
-//	          [-split N] [-front-split N] [-block-rows N]
+//	          [-split N] [-front-split N] [-block-rows N] [-root-grid N]
 //	          [-slaves memory|workload] [-fast-kernels] [-small]
 //
 // -workers 1 uses the sequential executor on both sides; higher counts

@@ -7,8 +7,9 @@
 //
 //	parfactor -matrix NAME|-mm FILE [-ordering METIS|PORD|AMD|AMF|RCM]
 //	          [-workers W] [-policy memory|depthfirst] [-split N]
-//	          [-front-split N] [-block-rows N] [-slaves memory|workload]
-//	          [-fast-kernels] [-bound ENTRIES] [-seq] [-small]
+//	          [-front-split N] [-block-rows N] [-root-grid N]
+//	          [-slaves memory|workload] [-fast-kernels] [-bound ENTRIES]
+//	          [-seq] [-small]
 //
 // -matrix selects a problem from the paper's Table-1 suite by name
 // (pattern-only analogues are given deterministic diagonally dominant
@@ -20,13 +21,17 @@
 // path: fronts of at least -front-split rows are factored as a master task
 // plus slave row-block tasks of -block-rows rows each, with the slave set
 // chosen by -slaves (Algorithm 1 of the paper, or the MUMPS workload
-// baseline). In the default kernel mode the factors never depend on these
-// knobs — the partition is a pure function of the front and the
-// register-blocked kernels are bitwise identical to the element-wise ones
-// — only wall-clock time and the per-worker memory shape do. With
-// -fast-kernels the update kernels reorder accumulation for full register
-// tiling: factors stay deterministic for a fixed -block-rows (any worker
-// count), but are validated by residual rather than bit equality. Set
+// baseline). -root-grid controls the 2D (type-3) decomposition of split
+// root fronts: the trailing rows *and* columns become -block-rows tiles
+// assigned block-cyclically over a worker grid (0 = auto-sized from the
+// worker count, -1 = keep roots on the 1D partition). In the default
+// kernel mode the factors never depend on these knobs — the partitions
+// are pure functions of the front and the register-blocked kernels are
+// bitwise identical to the element-wise ones — only wall-clock time and
+// the per-worker memory shape do. With -fast-kernels the update kernels
+// reorder accumulation for full register tiling: factors stay
+// deterministic for a fixed -block-rows (any worker count or grid shape),
+// but are validated by residual rather than bit equality. Set
 // -front-split larger than the largest front to disable splitting.
 package main
 
@@ -104,6 +109,12 @@ func main() {
 	fmt.Printf("  deviations %d, waits %d, forced %d\n", s.Deviations, s.Waits, s.Forced)
 	fmt.Printf("  within-front     %d split fronts, %d slave tasks (%d stolen), slaves=%v, block-rows=%d\n",
 		s.SplitFronts, s.SlaveTasks, s.SlaveSteals, pcfg.SlavePolicy, common.BlockRows)
+	if s.Root2DFronts > 0 {
+		fmt.Printf("  type-3 root      %d front(s) on a 2D tile grid, %.3fs in the root front\n",
+			s.Root2DFronts, float64(s.RootFrontNs)/1e9)
+	} else if s.RootFrontNs > 0 {
+		fmt.Printf("  root front       1D split, %.3fs\n", float64(s.RootFrontNs)/1e9)
+	}
 
 	rng := rand.New(rand.NewSource(1))
 	b := make([]float64, a.N)

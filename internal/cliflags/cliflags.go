@@ -30,6 +30,7 @@ type Common struct {
 	Split       int64
 	FrontSplit  int
 	BlockRows   int
+	RootGrid    int
 	Slaves      string
 	FastKernels bool
 	Small       bool
@@ -45,7 +46,8 @@ func (c *Common) Register(fs *flag.FlagSet, defaultWorkers int) {
 	fs.IntVar(&c.Workers, "workers", defaultWorkers, "worker goroutine count")
 	fs.Int64Var(&c.Split, "split", 0, "split masters larger than this many entries (0 = off)")
 	fs.IntVar(&c.FrontSplit, "front-split", 128, "factor fronts at least this large via within-front master/slave tasks")
-	fs.IntVar(&c.BlockRows, "block-rows", dense.DefaultBlockRows, "panel width / row-block height of the blocked kernels and 1D partition")
+	fs.IntVar(&c.BlockRows, "block-rows", dense.DefaultBlockRows, "panel width / tile edge of the blocked kernels and within-front partitions")
+	fs.IntVar(&c.RootGrid, "root-grid", 0, "2D (type-3) root-front worker grid rows: 0 = auto (floor(sqrt(workers))), -1 = 1D roots, N > 0 = N grid rows")
 	fs.StringVar(&c.Slaves, "slaves", "memory", "slave selection for split fronts: memory (Algorithm 1) or workload")
 	fs.BoolVar(&c.FastKernels, "fast-kernels", false, "reordered-accumulation tiled kernels (residual-validated, not bitwise vs default)")
 	fs.BoolVar(&c.Small, "small", false, "use the reduced (test-scale) suite")
@@ -61,6 +63,12 @@ func (c *Common) Validate() error {
 	}
 	if c.BlockRows < 1 {
 		return fmt.Errorf("-block-rows must be >= 1 (got %d)", c.BlockRows)
+	}
+	if c.RootGrid < -1 {
+		return fmt.Errorf("-root-grid must be -1 (disable), 0 (auto) or positive grid rows (got %d)", c.RootGrid)
+	}
+	if c.RootGrid > c.Workers {
+		return fmt.Errorf("-root-grid %d exceeds -workers %d (grid rows cannot outnumber workers)", c.RootGrid, c.Workers)
 	}
 	if _, err := c.Method(); err != nil {
 		return err
@@ -150,6 +158,7 @@ func (c *Common) CoreConfig() (core.Config, error) {
 	cfg.SplitThreshold = c.Split
 	cfg.FrontSplit = c.FrontSplit
 	cfg.BlockRows = c.BlockRows
+	cfg.RootGrid = c.RootGrid
 	cfg.FastKernels = c.FastKernels
 	return cfg, nil
 }

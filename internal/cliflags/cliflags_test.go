@@ -41,15 +41,41 @@ func TestDefaultsValidate(t *testing.T) {
 func TestValidationRejects(t *testing.T) {
 	cases := [][]string{
 		{"-matrix", "PRE2", "-workers", "0"},
+		{"-matrix", "PRE2", "-workers", "-2"},
 		{"-matrix", "PRE2", "-front-split", "0"},
+		{"-matrix", "PRE2", "-front-split", "-64"},
+		{"-matrix", "PRE2", "-block-rows", "0"},
 		{"-matrix", "PRE2", "-block-rows", "-3"},
 		{"-matrix", "PRE2", "-ordering", "BOGUS"},
+		{"-matrix", "PRE2", "-ordering", ""},
 		{"-matrix", "PRE2", "-slaves", "nobody"},
+		{"-matrix", "PRE2", "-root-grid", "-2"},
+		{"-matrix", "PRE2", "-root-grid", "5"},                  // > default 4 workers
+		{"-matrix", "PRE2", "-workers", "2", "-root-grid", "3"}, // > explicit workers
 		{}, // neither -matrix nor -mm
 	}
 	for _, args := range cases {
 		if _, err := parse(t, args...); err == nil {
 			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRootGridAccepts pins the accepted -root-grid range: -1 disables the
+// 2D root path, 0 asks for the auto grid, and positive values up to the
+// worker count select the grid row count — all flowing into core.Config.
+func TestRootGridAccepts(t *testing.T) {
+	for _, rg := range []string{"-1", "0", "1", "4"} {
+		c, err := parse(t, "-matrix", "PRE2", "-root-grid", rg)
+		if err != nil {
+			t.Fatalf("-root-grid %s rejected: %v", rg, err)
+		}
+		cfg, err := c.CoreConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.RootGrid != c.RootGrid {
+			t.Fatalf("-root-grid %s: core config got %d", rg, cfg.RootGrid)
 		}
 	}
 }

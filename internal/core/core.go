@@ -48,10 +48,17 @@ type Config struct {
 	// within-front parallelism. The factors never depend on it.
 	FrontSplit int
 	// BlockRows is the panel width / row-block height of the blocked
-	// dense kernels and of the within-front 1D partition, for both
-	// executors. 0 uses dense.DefaultBlockRows; negative selects the
-	// element-wise reference kernels (bitwise-identical, slower).
+	// dense kernels and of the within-front partitions (1D row blocks and
+	// 2D tiles), for both executors. 0 uses dense.DefaultBlockRows;
+	// negative selects the element-wise reference kernels
+	// (bitwise-identical, slower).
 	BlockRows int
+	// RootGrid controls the 2D (type-3) tile decomposition of split root
+	// fronts in the parallel executor: 0 sizes the worker grid
+	// automatically (pr = floor(sqrt(workers)), pc = ceil(workers/pr)),
+	// > 0 forces that many grid rows, negative keeps roots on the 1D
+	// (type-2) row partition. The factors never depend on it.
+	RootGrid int
 	// FastKernels routes every numeric factorization through the
 	// reordered-accumulation fast kernel family (dense.KernelFast):
 	// fully tiled updates validated by residual instead of bit equality.
@@ -232,6 +239,9 @@ func (an *Analysis) FactorizeParallel(cfg parmf.Config) (*parmf.Factors, error) 
 	}
 	if cfg.BlockRows == 0 {
 		cfg.BlockRows = an.Config.BlockRows
+	}
+	if cfg.RootGrid == 0 {
+		cfg.RootGrid = an.Config.RootGrid
 	}
 	if an.Config.FastKernels {
 		cfg.FastKernels = true

@@ -1,0 +1,395 @@
+// Tile-level variants of the partial factorization kernels — the numeric
+// layer of the 2D (type-3) within-front decomposition. Where the 1D row
+// kernels of blocked.go/kernels.go hand a slave a whole trailing row block
+// (all columns), the tile kernels split one panel step of a front into the
+// classic 2D pieces:
+//
+//	PanelLUTile            diagonal-tile factor: the panel pivots
+//	                       eliminated within the panel's own rows *and*
+//	                       columns only
+//	LUPanelTrailing        row-panel solve: the panel rows' trailing
+//	                       columns (the U tiles), per column tile
+//	LUSolveRows            column-panel solve: a trailing row block's
+//	                       multipliers + within-panel updates (the L tile)
+//	LUUpdateTile           rank-k update of one trailing rows x columns
+//	                       tile from the already-solved L tile and U tiles
+//	CholeskyUpdateTile     symmetric trailing update restricted to one
+//	                       column tile of the lower triangle
+//
+// (The symmetric column-panel solve is CholeskyScaleRows unchanged — it is
+// already restricted to the panel columns — and the symmetric diagonal
+// tile is PanelCholesky, which never touched trailing columns.)
+//
+// Determinism discipline, continuing blocked.go's: the KernelDefault tile
+// kernels perform the same floating-point operations in the same
+// per-element order as the reference kernels — each element still receives
+// its pivots in ascending order with the reference's exact zero-skips, and
+// a tile boundary only changes which loop visits the element — so a 2D
+// factorization is bitwise identical to the element-wise one at any tile
+// grid. One caveat inherits from splitting the LU solve and update into
+// separate tasks: the update skips a pivot by testing the *stored*
+// multiplier, which matches the reference's computed-multiplier skip
+// unless a nonzero entry's scaling underflowed to exactly zero — possible
+// only for deeply subnormal front entries (|v| < ~1e-312), which the
+// solver's numerical contract (static pivoting on well-scaled systems,
+// see ErrSmallPivot) already excludes. The KernelFast tile kernels reuse the fast family's k-grouping
+// (rank-4 fused LU sweeps, dense multipliers, no skips) restricted to the
+// tile's columns, so fast-2D is bitwise identical to fast-1D for a fixed
+// panel width. In both families every element is written by exactly one
+// task per phase: there are no cross-tile reductions to pin.
+package dense
+
+import "math"
+
+// PanelLUTile eliminates pivots [k0,k1) of f within rows *and columns*
+// [k0,k1) only — the diagonal-tile factor of a 2D panel step. It computes
+// the same multipliers and within-tile updates as PanelLU, which
+// additionally sweeps the panel rows' trailing columns; with the 2D
+// decomposition those columns are applied per column tile by
+// LUPanelTrailing instead.
+func PanelLUTile(f *Matrix, k0, k1 int, tol float64) error {
+	for k := k0; k < k1; k++ {
+		pk := f.At(k, k)
+		if math.Abs(pk) <= tol {
+			return errSmallPivotAt(k, pk)
+		}
+		inv := 1 / pk
+		rowK := f.Row(k)
+		for i := k + 1; i < k1; i++ {
+			rowI := f.Row(i)
+			l := rowI[k] * inv
+			if l == 0 {
+				continue
+			}
+			rowI[k] = l
+			for j := k + 1; j < k1; j++ {
+				rowI[j] -= l * rowK[j]
+			}
+		}
+	}
+	return nil
+}
+
+// LUPanelTrailing applies the diagonal tile's within-panel multipliers to
+// the panel rows' columns [c0,c1) (c0 >= k1) — the row-panel (U-tile)
+// solve. Requires PanelLUTile to have finalized the multipliers. Per
+// element it replays PanelLU's update order exactly: row i receives pivots
+// k0..i-1 ascending, skipping zero multipliers, and a pivot row's trailing
+// slice is final before any later row reads it. Disjoint column tiles are
+// independent. Both kernel families compute these bits (the master panel
+// runs the shared PanelLU in 1D mode for both).
+func LUPanelTrailing(f *Matrix, k0, k1, c0, c1 int) {
+	if c1 <= c0 || k1 <= k0 {
+		return
+	}
+	n := f.C
+	var lb [kernStackPanel]float64
+	var kb [kernStackPanel]int32
+	ls, ki := lb[:], kb[:]
+	if kw := k1 - k0; kw > kernStackPanel {
+		ls, ki = make([]float64, kw), make([]int32, kw)
+	}
+	for i := k0 + 1; i < k1; i++ {
+		rowI := f.A[i*n : i*n+n : i*n+n]
+		nnz := 0
+		for k := k0; k < i; k++ {
+			if l := rowI[k]; l != 0 {
+				ls[nnz], ki[nnz] = l, int32(k-k0)
+				nnz++
+			}
+		}
+		ri := rowI[c0:c1]
+		t := 0
+		for ; t+1 < nnz; t += 2 {
+			ka, kb2 := int(ki[t])+k0, int(ki[t+1])+k0
+			rank2Sub(ri, f.A[ka*n+c0:ka*n+c1:ka*n+c1], f.A[kb2*n+c0:kb2*n+c1:kb2*n+c1], ls[t], ls[t+1])
+		}
+		if t < nnz {
+			ka := int(ki[t]) + k0
+			rank1Sub(ri, f.A[ka*n+c0:ka*n+c1:ka*n+c1], ls[t])
+		}
+	}
+}
+
+// LUSolveRows computes the multipliers and within-panel updates of rows
+// [r0,r1) (r0 >= k1) against the eliminated panel [k0,k1) — the
+// column-panel (L-tile) solve, i.e. exactly the panel-column part of
+// LUApplyRows without the trailing sweep. After it, columns [k0,k1) of the
+// rows hold the final multipliers LUUpdateTile reads. Rows are independent
+// given the diagonal tile.
+func (kern Kernel) LUSolveRows(f *Matrix, k0, k1, r0, r1 int) {
+	if r1 <= r0 || k1 <= k0 {
+		return
+	}
+	n := f.C
+	kw := k1 - k0
+	var ib [kernStackPanel]float64
+	invs := ib[:]
+	if kw > kernStackPanel {
+		invs = make([]float64, kw)
+	}
+	for k := k0; k < k1; k++ {
+		invs[k-k0] = 1 / f.A[k*n+k]
+	}
+	fast := kern == KernelFast
+	for i := r0; i < r1; i++ {
+		rowI := f.A[i*n : i*n+n : i*n+n]
+		for k := k0; k < k1; k++ {
+			l := rowI[k] * invs[k-k0]
+			if l == 0 && !fast {
+				continue // the reference's zero-skip; fast mode is dense
+			}
+			rowI[k] = l
+			rowK := f.A[k*n : k*n+n : k*n+n]
+			for j := k + 1; j < k1; j++ {
+				rowI[j] -= l * rowK[j]
+			}
+		}
+	}
+}
+
+// LUUpdateTile applies the panel's rank-k update to the tile rows [r0,r1)
+// x columns [c0,c1) (r0, c0 >= k1), reading the multipliers LUSolveRows
+// left in columns [k0,k1) and the panel rows' columns [c0,c1) finalized by
+// LUPanelTrailing (or the 1D master's PanelLU). Per element, KernelDefault
+// replays the reference order — pivots ascending, skipping zero
+// multipliers, one multiply one subtract each — and KernelFast replays the
+// fast family's rank-4 fused k-grouping, so each mode computes the same
+// bits as its 1D counterpart at any tile grid.
+func (kern Kernel) LUUpdateTile(f *Matrix, k0, k1, r0, r1, c0, c1 int) {
+	if r1 <= r0 || c1 <= c0 || k1 <= k0 {
+		return
+	}
+	n := f.C
+	kw := k1 - k0
+	m := c1 - c0
+	var rb [kernStackPanel][]float64
+	rks := rb[:]
+	if kw > kernStackPanel {
+		rks = make([][]float64, kw)
+	}
+	for k := k0; k < k1; k++ {
+		rks[k-k0] = f.A[k*n+c0 : k*n+c1 : k*n+c1]
+	}
+	if kern == KernelFast {
+		for i := r0; i < r1; i++ {
+			rowI := f.A[i*n : i*n+n : i*n+n]
+			ri := rowI[c0:c1:c1]
+			k := k0
+			for ; k+3 < k1; k += 4 {
+				la, lc := rowI[k], rowI[k+2]
+				lb, ld := rowI[k+1], rowI[k+3]
+				ra := rks[k-k0]
+				rbv := rks[k+1-k0]
+				rc := rks[k+2-k0]
+				rd := rks[k+3-k0]
+				for j := 0; j < m; j++ {
+					ri[j] -= la*ra[j] + lb*rbv[j] + lc*rc[j] + ld*rd[j]
+				}
+			}
+			for ; k+1 < k1; k += 2 {
+				la, lb := rowI[k], rowI[k+1]
+				ra := rks[k-k0]
+				rbv := rks[k+1-k0]
+				for j := 0; j < m; j++ {
+					ri[j] -= la*ra[j] + lb*rbv[j]
+				}
+			}
+			if k < k1 {
+				rank1Sub(ri, rks[k-k0], rowI[k])
+			}
+		}
+		return
+	}
+	var lb [kernStackPanel]float64
+	var kb [kernStackPanel]int32
+	ls, ki := lb[:], kb[:]
+	if kw > kernStackPanel {
+		ls, ki = make([]float64, kw), make([]int32, kw)
+	}
+	for i := r0; i < r1; i++ {
+		rowI := f.A[i*n : i*n+n : i*n+n]
+		// Skip on the stored multiplier. The reference skips on the
+		// *computed* multiplier; the two sets coincide unless a nonzero
+		// entry's product with the pivot reciprocal underflowed to exactly
+		// zero in the solve — then the reference skips while this applies
+		// the unscaled entry. That needs a deeply subnormal front entry
+		// (|v| < ~1e-312 given the pivot threshold), far outside the
+		// well-scaled systems the no-pivoting solver requires anyway (see
+		// ErrSmallPivot); the same caveat applies to LUPanelTrailing
+		// against PanelLU.
+		nnz := 0
+		for k := k0; k < k1; k++ {
+			if l := rowI[k]; l != 0 {
+				ls[nnz], ki[nnz] = l, int32(k-k0)
+				nnz++
+			}
+		}
+		ri := rowI[c0:c1]
+		t := 0
+		for ; t+1 < nnz; t += 2 {
+			rank2Sub(ri, rks[ki[t]], rks[ki[t+1]], ls[t], ls[t+1])
+		}
+		if t < nnz {
+			rank1Sub(ri, rks[ki[t]], ls[t])
+		}
+	}
+}
+
+// CholeskyUpdateTile applies the panel's symmetric trailing update to the
+// lower-triangle part of the tile rows [r0,r1) x columns [c0,c1) (r0, c0
+// >= k1): A(i,j) for j in [c0, min(c1, i+1)). It reads the scaled panel
+// columns of the tile's rows and of the rows its columns index, so
+// CholeskyScaleRows must have completed for all rows below r1 first. A
+// full-width tile (c0 <= k1's first trailing column, c1 >= r1) delegates
+// to the 1D kernel so the 1D path keeps its width-dispatched loop nests.
+func (kern Kernel) CholeskyUpdateTile(f *Matrix, k0, k1, r0, r1, c0, c1 int) {
+	if c0 < k1 {
+		c0 = k1
+	}
+	if c1 > r1 {
+		c1 = r1 // columns j > i never occur in the lower triangle
+	}
+	if r1 <= r0 || c1 <= c0 || k1 <= k0 {
+		return
+	}
+	if c0 == k1 && c1 == r1 {
+		kern.CholeskyUpdateRows(f, k0, k1, r0, r1)
+		return
+	}
+	if kern == KernelFast {
+		choleskyUpdateTileFast(f, k0, k1, r0, r1, c0, c1)
+		return
+	}
+	choleskyUpdateTileRB(f, k0, k1, r0, r1, c0, c1)
+}
+
+// choleskyUpdateTileRB is choleskyUpdateRowsRB with the updated columns
+// restricted to [c0,c1): per column j it gathers row j's nonzero panel
+// entries (the reference skip pattern) once and streams the tile's rows
+// through 4x1 register tiles — identical bits to the reference kernel.
+func choleskyUpdateTileRB(f *Matrix, k0, k1, r0, r1, c0, c1 int) {
+	n := f.C
+	kw := k1 - k0
+	var lb [kernStackPanel]float64
+	var kb [kernStackPanel]int32
+	ls, ks := lb[:], kb[:]
+	if kw > kernStackPanel {
+		ls, ks = make([]float64, kw), make([]int32, kw)
+	}
+	for j := c0; j < c1; j++ {
+		rowJ := f.A[j*n : j*n+n]
+		nnz := 0
+		for k := k0; k < k1; k++ {
+			if v := rowJ[k]; v != 0 {
+				ls[nnz], ks[nnz] = v, int32(k)
+				nnz++
+			}
+		}
+		if nnz == 0 {
+			continue
+		}
+		lj, kj := ls[:nnz:nnz], ks[:nnz:nnz]
+		lo := j
+		if lo < r0 {
+			lo = r0
+		}
+		i := lo
+		for ; i+3 < r1; i += 4 {
+			r0v := f.A[i*n : i*n+n : i*n+n]
+			r1v := f.A[(i+1)*n : (i+1)*n+n : (i+1)*n+n]
+			r2v := f.A[(i+2)*n : (i+2)*n+n : (i+2)*n+n]
+			r3v := f.A[(i+3)*n : (i+3)*n+n : (i+3)*n+n]
+			s0, s1, s2, s3 := r0v[j], r1v[j], r2v[j], r3v[j]
+			for t, l := range lj {
+				k := int(kj[t])
+				s0 -= r0v[k] * l
+				s1 -= r1v[k] * l
+				s2 -= r2v[k] * l
+				s3 -= r3v[k] * l
+			}
+			r0v[j], r1v[j], r2v[j], r3v[j] = s0, s1, s2, s3
+		}
+		for ; i < r1; i++ {
+			rv := f.A[i*n : i*n+n : i*n+n]
+			s := rv[j]
+			for t, l := range lj {
+				s -= rv[int(kj[t])] * l
+			}
+			rv[j] = s
+		}
+	}
+}
+
+// choleskyUpdateTileFast is the fast symmetric tile update: column pairs,
+// row pairs, 2x2 accumulator tiles, no zero skips. Each element's
+// accumulator still receives the panel entries in ascending order, so the
+// values match choleskyUpdateRowsFast's at any tile grid.
+func choleskyUpdateTileFast(f *Matrix, k0, k1, r0, r1, c0, c1 int) {
+	n := f.C
+	j := c0
+	for ; j+1 < c1; j += 2 {
+		rja := f.A[j*n+k0 : j*n+k1 : j*n+k1]
+		rjb := f.A[(j+1)*n+k0 : (j+1)*n+k1 : (j+1)*n+k1]
+		if j >= r0 && j < r1 {
+			// Row j itself only receives column j (the diagonal edge).
+			rv := f.A[j*n : j*n+n]
+			s := rv[j]
+			for _, l := range rja {
+				s -= l * l
+			}
+			rv[j] = s
+		}
+		lo := j + 1
+		if lo < r0 {
+			lo = r0
+		}
+		i := lo
+		for ; i+1 < r1; i += 2 {
+			ria := f.A[i*n : i*n+n : i*n+n]
+			rib := f.A[(i+1)*n : (i+1)*n+n : (i+1)*n+n]
+			pa := ria[k0:k1:k1]
+			pb := rib[k0:k1:k1]
+			s00, s01 := ria[j], ria[j+1]
+			s10, s11 := rib[j], rib[j+1]
+			for t, la := range rja {
+				lb := rjb[t]
+				va, vb := pa[t], pb[t]
+				s00 -= va * la
+				s01 -= va * lb
+				s10 -= vb * la
+				s11 -= vb * lb
+			}
+			ria[j], ria[j+1] = s00, s01
+			rib[j], rib[j+1] = s10, s11
+		}
+		if i < r1 {
+			ria := f.A[i*n : i*n+n : i*n+n]
+			pa := ria[k0:k1:k1]
+			s00, s01 := ria[j], ria[j+1]
+			for t, la := range rja {
+				va := pa[t]
+				s00 -= va * la
+				s01 -= va * rjb[t]
+			}
+			ria[j], ria[j+1] = s00, s01
+		}
+	}
+	if j < c1 {
+		// Odd trailing column: 1x1 accumulators against the single column.
+		rja := f.A[j*n+k0 : j*n+k1 : j*n+k1]
+		lo := j
+		if lo < r0 {
+			lo = r0
+		}
+		for i := lo; i < r1; i++ {
+			rv := f.A[i*n : i*n+n : i*n+n]
+			pv := rv[k0:k1:k1]
+			s := rv[j]
+			for t, l := range rja {
+				s -= pv[t] * l
+			}
+			rv[j] = s
+		}
+	}
+}

@@ -191,7 +191,6 @@ func EliminateKernel(f *dense.Matrix, npiv int, kind sparse.Type, tol float64, b
 	return kern.PartialLU(f, npiv, tol, blockRows)
 }
 
-
 // ExtractFactor copies the factor pieces out of the eliminated front: the
 // nf x npiv lower trapezoid (diag: Cholesky=L(k,k), LU=1 implicit) and, for
 // unsymmetric matrices, the npiv x nf upper trapezoid holding the U diag.

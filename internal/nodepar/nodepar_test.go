@@ -11,10 +11,10 @@ import (
 	"repro/internal/sparse"
 )
 
-func TestPartitionPure(t *testing.T) {
+func TestPartitionRowsPure(t *testing.T) {
 	// The partition depends on the front shape and block size only.
-	a := Partition(300, 64)
-	b := Partition(300, 64)
+	a := PartitionRows(300, 64)
+	b := PartitionRows(300, 64)
 	if len(a) != len(b) || len(a) != 5 {
 		t.Fatalf("partition not deterministic: %v vs %v", a, b)
 	}
@@ -33,7 +33,7 @@ func TestPartitionPure(t *testing.T) {
 	if total != 300 {
 		t.Fatalf("blocks cover %d rows, want 300", total)
 	}
-	if got := Partition(10, 0); len(got) != 1 || got[0].R1 != 10 {
+	if got := PartitionRows(10, 0); len(got) != 1 || got[0].R1 != 10 {
 		t.Fatalf("default block size partition wrong: %v", got)
 	}
 }
@@ -52,7 +52,7 @@ func TestRowsEntries(t *testing.T) {
 }
 
 func TestAssignPrefs(t *testing.T) {
-	blocks := Partition(200, 50) // 4 blocks of 50
+	blocks := PartitionRows(200, 50) // 4 blocks of 50
 	// First panel ends at 50; 150 slave rows split 100/50 between workers
 	// 2 and 5.
 	AssignPrefs(blocks, 50, []sched.Allocation{{Proc: 2, Rows: 100}, {Proc: 5, Rows: 50}})
@@ -66,7 +66,7 @@ func TestAssignPrefs(t *testing.T) {
 		t.Errorf("second allocation block: %d, want 5", blocks[3].Pref)
 	}
 	// No allocations: prefs untouched.
-	blocks2 := Partition(200, 50)
+	blocks2 := PartitionRows(200, 50)
 	AssignPrefs(blocks2, 50, nil)
 	for _, b := range blocks2 {
 		if b.Pref != -1 {
@@ -87,16 +87,113 @@ func TestFlopsHelpers(t *testing.T) {
 	}
 }
 
+func TestAutoGrid(t *testing.T) {
+	cases := []struct{ w, rows, pr, pc int }{
+		{1, 0, 1, 1},
+		{2, 0, 1, 2},
+		{4, 0, 2, 2},
+		{8, 0, 2, 4},
+		{9, 0, 3, 3},
+		{7, 0, 2, 4},
+		{8, 4, 4, 2},
+		{8, 16, 8, 1}, // rows clamped to workers
+		{3, -1, 1, 3}, // negative rows = auto
+	}
+	for _, c := range cases {
+		pr, pc := AutoGrid(c.w, c.rows)
+		if pr != c.pr || pc != c.pc {
+			t.Errorf("AutoGrid(%d, %d) = (%d,%d), want (%d,%d)", c.w, c.rows, pr, pc, c.pr, c.pc)
+		}
+		if pr*pc < c.w {
+			t.Errorf("AutoGrid(%d, %d): %d slots < workers", c.w, c.rows, pr*pc)
+		}
+	}
+}
+
+// TestTilePartitionCoverage checks the 2D partition's task arithmetic: per
+// panel and phase, the emitted tiles cover each trailing element exactly
+// once, tile geometry is independent of the worker grid, and the
+// block-cyclic preferred owners stay within the worker range.
+func TestTilePartitionCoverage(t *testing.T) {
+	for _, kind := range []sparse.Type{sparse.Unsymmetric, sparse.Symmetric} {
+		for _, geom := range [][2]int{{97, 97}, {130, 64}, {64, 64}, {33, 20}} {
+			nf, npiv := geom[0], geom[1]
+			p := NewTilePartition(kind, nf, npiv, 32, 2, 2, 4)
+			q := NewTilePartition(kind, nf, npiv, 32, 4, 1, 4) // other grid
+			panels := p.Panels()
+			if len(panels) == 0 && npiv > 0 {
+				t.Fatalf("no panels for npiv %d", npiv)
+			}
+			for pi, pl := range panels {
+				if pi > 0 && pl.K0 != panels[pi-1].K1 {
+					t.Fatalf("panel %d not contiguous", pi)
+				}
+				for _, ph := range p.Phases() {
+					tiles := p.AppendTasks(nil, pl, ph)
+					other := q.AppendTasks(nil, pl, ph)
+					if len(tiles) != len(other) {
+						t.Fatalf("grid changed task count: %d vs %d", len(tiles), len(other))
+					}
+					seen := map[[4]int]bool{}
+					for ti, tl := range tiles {
+						o := other[ti]
+						if tl.R0 != o.R0 || tl.R1 != o.R1 || tl.C0 != o.C0 || tl.C1 != o.C1 {
+							t.Fatalf("grid changed tile geometry: %+v vs %+v", tl, o)
+						}
+						if tl.Pref < 0 || tl.Pref >= 4 {
+							t.Fatalf("pref %d out of worker range", tl.Pref)
+						}
+						if tl.Entries <= 0 || tl.Flops <= 0 {
+							t.Fatalf("tile without accounting: %+v", tl)
+						}
+						key := [4]int{tl.R0, tl.R1, tl.C0, tl.C1}
+						if seen[key] {
+							t.Fatalf("duplicate tile %v", key)
+						}
+						seen[key] = true
+					}
+					// Update phase must cover the whole trailing block once.
+					if ph == PhaseUpdate {
+						cover := map[[2]int]int{}
+						for _, tl := range tiles {
+							for i := tl.R0; i < tl.R1; i++ {
+								hi := tl.C1
+								if kind == sparse.Symmetric && hi > i+1 {
+									hi = i + 1
+								}
+								for j := tl.C0; j < hi; j++ {
+									cover[[2]int{i, j}]++
+								}
+							}
+						}
+						for i := pl.K1; i < nf; i++ {
+							hi := nf
+							if kind == sparse.Symmetric {
+								hi = i + 1
+							}
+							for j := pl.K1; j < hi; j++ {
+								if cover[[2]int{i, j}] != 1 {
+									t.Fatalf("element (%d,%d) covered %d times", i, j, cover[[2]int{i, j}])
+								}
+							}
+						}
+						for k, c := range cover {
+							if c != 1 {
+								t.Fatalf("element %v covered %d times", k, c)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // driveJob factors the front through the job state machine with the given
 // number of worker goroutines, mimicking the executor's locking protocol.
-func driveJob(t *testing.T, f *dense.Matrix, npiv int, kind sparse.Type, blockRows, workers int) {
+func driveJob(t *testing.T, f *dense.Matrix, npiv int, kind sparse.Type, part Partition, workers int) {
 	t.Helper()
-	blocks := Partition(f.R, blockRows)
-	// Spread preferences around to exercise the pref path.
-	for i := range blocks {
-		blocks[i].Pref = i % workers
-	}
-	job := NewJob(0, f, npiv, kind, 1e-14, blocks, dense.KernelDefault)
+	job := NewJob(0, f, npiv, kind, 1e-14, part, dense.KernelDefault)
 
 	var mu sync.Mutex
 	cond := sync.NewCond(&mu)
@@ -164,10 +261,26 @@ func driveJob(t *testing.T, f *dense.Matrix, npiv int, kind sparse.Type, blockRo
 	wg.Wait()
 }
 
+// partitionsUnderTest builds the 1D partition (prefs spread around) and
+// two 2D grids for one front shape.
+func partitionsUnderTest(kind sparse.Type, nfront, npiv, blockRows, workers int) map[string]Partition {
+	rp := NewRowPartition(kind, nfront, npiv, blockRows)
+	for i := range rp.Blocks {
+		rp.Blocks[i].Pref = i % workers
+	}
+	pr, pc := AutoGrid(workers, 0)
+	return map[string]Partition{
+		"1d":      rp,
+		"2d-auto": NewTilePartition(kind, nfront, npiv, blockRows, pr, pc, workers),
+		"2d-flat": NewTilePartition(kind, nfront, npiv, blockRows, 1, workers, workers),
+	}
+}
+
 // TestJobMatchesReferenceKernels drives jobs with concurrent claimants at
-// several worker counts and block sizes and checks the result is bitwise
-// the element-wise kernel's — the determinism the executor builds on.
-// Running it under -race also validates the claim/finish protocol.
+// several worker counts, block sizes and partitions — 1D row blocks and
+// 2D tile grids — and checks the result is bitwise the element-wise
+// kernel's: the determinism the executor builds on, for every partition
+// shape. Running it under -race also validates the claim/finish protocol.
 func TestJobMatchesReferenceKernels(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	n := 97
@@ -191,16 +304,18 @@ func TestJobMatchesReferenceKernels(t *testing.T) {
 			}
 			for _, blockRows := range []int{16, 32} {
 				for _, workers := range []int{1, 2, 4} {
-					got := cloneM(a)
-					driveJob(t, got, npiv, kind, blockRows, workers)
-					for i := 0; i < n; i++ {
-						for j := 0; j < n; j++ {
-							if kind == sparse.Symmetric && j > i {
-								continue
-							}
-							if math.Float64bits(ref.At(i, j)) != math.Float64bits(got.At(i, j)) {
-								t.Fatalf("%v npiv=%d block=%d workers=%d: (%d,%d) %g vs %g",
-									kind, npiv, blockRows, workers, i, j, ref.At(i, j), got.At(i, j))
+					for name, part := range partitionsUnderTest(kind, n, npiv, blockRows, workers) {
+						got := cloneM(a)
+						driveJob(t, got, npiv, kind, part, workers)
+						for i := 0; i < n; i++ {
+							for j := 0; j < n; j++ {
+								if kind == sparse.Symmetric && j > i {
+									continue
+								}
+								if math.Float64bits(ref.At(i, j)) != math.Float64bits(got.At(i, j)) {
+									t.Fatalf("%v %s npiv=%d block=%d workers=%d: (%d,%d) %g vs %g",
+										kind, name, npiv, blockRows, workers, i, j, ref.At(i, j), got.At(i, j))
+								}
 							}
 						}
 					}

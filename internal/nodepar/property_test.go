@@ -65,6 +65,7 @@ func TestPropertyHybridSuite(t *testing.T) {
 			for _, workers := range []int{1, 2, 8} {
 				cfg := parmf.DefaultConfig(workers)
 				cfg.FrontSplit = split
+				cfg.RootGrid = -1 // pure type-2: every split front on the 1D partition
 				pf, err := parmf.Factorize(pa, tree, cfg)
 				if err != nil {
 					t.Fatalf("%d workers: %v", workers, err)
@@ -103,6 +104,82 @@ func TestPropertyHybridSuite(t *testing.T) {
 			}
 			if r := math.Sqrt(rn / bn); r > 1e-7 {
 				t.Errorf("residual %g", r)
+			}
+		})
+	}
+}
+
+// TestPropertyType3Suite is the suite-wide invariant of the 2D (type-3)
+// root-front path, checked on every Table-1 problem:
+//
+//   - with the type-3 tile decomposition enabled, the factors are *bitwise
+//     identical* to the sequential executor at 1, 2 and 8 workers and
+//     across grid shapes (the auto grid and a forced flat 1xW grid): tile
+//     boundaries are a pure function of the front and the panel width, and
+//     the grid only stamps preferred owners;
+//   - whenever a root front reaches the split threshold, the multi-worker
+//     runs actually took the 2D path (Stats.Root2DFronts > 0).
+func TestPropertyType3Suite(t *testing.T) {
+	suite := workload.Suite()
+	if testing.Short() {
+		suite = workload.SmallSuite()
+	}
+	for _, p := range suite {
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			a := p.Matrix()
+			if !a.HasValues() {
+				if err := sparse.FillDominant(a, rand.New(rand.NewSource(7))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tree, pa := assembly.Analyze(a, assembly.DefaultOptions(order.ND))
+			assembly.SortChildrenLiu(tree)
+
+			maxFront := 0
+			rootFront := 0
+			for i := range tree.Nodes {
+				f := tree.Nodes[i].NFront()
+				if f > maxFront {
+					maxFront = f
+				}
+				if tree.Nodes[i].Parent < 0 && f > rootFront {
+					rootFront = f
+				}
+			}
+			split := assembly.DefaultType2MinFront(maxFront)
+			rootSplits := rootFront >= split && rootFront > dense.DefaultBlockRows
+
+			sOpt := seqmf.DefaultOptions()
+			sOpt.BlockRows = dense.DefaultBlockRows
+			sf, err := seqmf.Factorize(pa, tree, sOpt)
+			if err != nil {
+				t.Fatalf("seqmf: %v", err)
+			}
+
+			for _, workers := range []int{1, 2, 8} {
+				grids := []int{0} // auto
+				if workers > 1 {
+					grids = []int{0, 1} // auto and the flat 1 x W grid
+				}
+				for _, grid := range grids {
+					cfg := parmf.DefaultConfig(workers)
+					cfg.FrontSplit = split
+					cfg.RootGrid = grid
+					pf, err := parmf.Factorize(pa, tree, cfg)
+					if err != nil {
+						t.Fatalf("%d workers grid %d: %v", workers, grid, err)
+					}
+					if workers > 1 && rootSplits && pf.Stats.Root2DFronts == 0 {
+						t.Errorf("%d workers grid %d: root front %d >= split %d but no 2D root",
+							workers, grid, rootFront, split)
+					}
+					if workers > 1 && pf.Stats.Root2DFronts > 0 && pf.Stats.RootFrontNs == 0 {
+						t.Errorf("%d workers grid %d: 2D root ran but RootFrontNs not recorded",
+							workers, grid)
+					}
+					compareBits(t, tree, sf.Front(), pf.Front())
+				}
 			}
 		})
 	}

@@ -39,6 +39,7 @@ package parmf
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/assembly"
 	"repro/internal/dense"
@@ -139,6 +140,20 @@ type Config struct {
 	BlockRows int
 	// SlavePolicy picks the slave-selection heuristic for split fronts.
 	SlavePolicy SlavePolicy
+	// RootGrid controls the 2D (type-3) tile decomposition of root
+	// fronts: a split root front factors over a pr x pc worker grid with
+	// block-cyclic tile ownership instead of the 1D row blocking, lifting
+	// the root's serial-master and task-count caps. 0 sizes the grid
+	// automatically from the worker count (pr = floor(sqrt(W)), pc =
+	// ceil(W/pr)); > 0 forces that many grid rows (library callers may
+	// pass more than W, which AutoGrid clamps; the CLIs' -root-grid
+	// rejects that instead); negative disables the 2D path (roots use
+	// the 1D partition). The
+	// factors never depend on it: tile boundaries are a pure function of
+	// the front and BlockRows, and the grid only stamps preferred owners.
+	RootGrid int
+	// gridPR/gridPC is the resolved root grid (0 = 2D path disabled).
+	gridPR, gridPC int
 	// FastKernels selects the reordered-accumulation fast kernel family
 	// (dense.KernelFast) for every front, split or not: fully tiled
 	// updates that trade the bitwise guarantee for speed, validated by
@@ -171,9 +186,11 @@ type Stats struct {
 	Waits            int64   // idle episodes where nothing fit the bound
 	Forced           int64   // peak-raising activations over the worker's effective bound
 
-	SplitFronts int   // fronts factored through the within-front master/slave path
-	SlaveTasks  int64 // row-block tasks executed (all panels and phases)
-	SlaveSteals int64 // row-block tasks run by a worker other than the preferred one
+	SplitFronts  int   // fronts factored through the within-front master/slave path
+	SlaveTasks   int64 // slave tile tasks executed (all panels and phases)
+	SlaveSteals  int64 // slave tile tasks run by a worker other than the preferred one
+	Root2DFronts int   // root fronts factored through the 2D (type-3) tile path
+	RootFrontNs  int64 // max wall-clock ns spent factoring one split root front
 }
 
 // Seq returns the seqmf-comparable subset of the stats.
@@ -281,6 +298,9 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 		// One worker has no slaves to fan out to, and the split path runs
 		// on the blocked kernels; either way the factors are the same bits.
 		cfg.FrontSplit = 0
+	}
+	if cfg.RootGrid >= 0 {
+		cfg.gridPR, cfg.gridPC = nodepar.AutoGrid(cfg.Workers, cfg.RootGrid)
 	}
 	peaks := assembly.SequentialPeaks(tree)
 	if cfg.PeakBound <= 0 {
@@ -761,24 +781,44 @@ func (w worker) splitFront(ni int) bool {
 }
 
 // runSplitFront factors an assembled front as a master task plus slave
-// row-block tasks: for each pivot panel the master eliminates the panel's
-// own rows, then fans the panel's row-block waves out through the shared
-// job list — idle workers claim them (preferring the blocks the slave
-// selection assigned to them) and the master joins in itself, so progress
-// never depends on anyone else being free. Phases are barriers; the
-// factors are bitwise identical to the sequential blocked kernel because
-// every row block computes the same bits wherever it runs.
+// tile tasks: for each pivot panel the master eliminates the panel's
+// master part, then fans the panel's phase waves out through the shared
+// job list — idle workers claim them (preferring the tiles the slave
+// selection or the 2D grid assigned to them) and the master joins in
+// itself, so progress never depends on anyone else being free. Phases are
+// barriers; the factors are bitwise identical to the sequential blocked
+// kernel because every tile computes the same bits wherever it runs.
+//
+// The decomposition is the paper's two split shapes behind one Partition:
+// non-root fronts use the 1D row blocking (type 2) with the dynamic slave
+// selection, and root fronts — when the root grid is enabled — use the 2D
+// block-cyclic tile grid (type 3), whose diagonal-tile master and per-tile
+// update tasks remove the root's serial U sweep and task shortage.
 func (w worker) runSplitFront(ni int, fr *dense.Matrix, r *taskResult) error {
 	st, tree := w.st, w.sh.Tree
 	nd := &tree.Nodes[ni]
 	npiv, nf := nd.NPiv(), nd.NFront()
+	isRoot := nd.Parent < 0
 
-	blocks := nodepar.Partition(nf, w.cfg.BlockRows)
+	var part nodepar.Partition
 	st.mu.Lock()
-	w.assignSlavesLocked(nd, blocks)
-	job := nodepar.NewJob(ni, fr, npiv, tree.Kind, w.cfg.PivotTol, blocks, w.kern)
+	if isRoot && w.cfg.gridPR > 0 {
+		part = nodepar.NewTilePartition(tree.Kind, nf, npiv, w.cfg.BlockRows,
+			w.cfg.gridPR, w.cfg.gridPC, w.cfg.Workers)
+		st.stats.Root2DFronts++
+	} else {
+		rp := nodepar.NewRowPartition(tree.Kind, nf, npiv, w.cfg.BlockRows)
+		w.assignSlavesLocked(nd, rp.Blocks)
+		part = rp
+	}
+	job := nodepar.NewJob(ni, fr, npiv, tree.Kind, w.cfg.PivotTol, part, w.kern)
 	st.stats.SplitFronts++
 	st.mu.Unlock()
+
+	var rootT0 time.Time
+	if isRoot {
+		rootT0 = time.Now()
+	}
 
 	published := false
 	defer func() {
@@ -822,6 +862,14 @@ func (w worker) runSplitFront(ni int, fr *dense.Matrix, r *taskResult) error {
 				return err
 			}
 		}
+	}
+	if isRoot {
+		ns := time.Since(rootT0).Nanoseconds()
+		st.mu.Lock()
+		if ns > st.stats.RootFrontNs {
+			st.stats.RootFrontNs = ns
+		}
+		st.mu.Unlock()
 	}
 	return nil
 }

@@ -1,7 +1,8 @@
 // Per-kernel microbenchmarks for the numeric hot path — the update
 // micro-kernels (element-wise / PR-3 blocked / register-blocked / fast),
-// the run-merged extend-add, and the front arena — plus a JSON emitter
-// that makes the perf trajectory machine-readable:
+// the run-merged extend-add, the front arena, and the root-front
+// decomposition (1D row blocks vs the 2D type-3 tile grid) — plus a JSON
+// emitter that makes the perf trajectory machine-readable:
 //
 //	go test -run '^$' -benchjson BENCH_kernels.json .
 //
@@ -18,10 +19,16 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dense"
 	"repro/internal/front"
+	"repro/internal/order"
+	"repro/internal/parmf"
+	"repro/internal/sparse"
+	"repro/internal/workload"
 )
 
 var benchJSON = flag.String("benchjson", "", "write the kernel benchmark results as JSON to this file")
@@ -255,13 +262,83 @@ func BenchmarkArenaReuse(b *testing.B) {
 	}
 }
 
+// ---- root front (1D vs 2D type-3) --------------------------------------
+
+// rootFrontAnalysis prepares the root-dominated problem of the suite:
+// GUPTA3's root front (order ~2157) carries ~99% of the total elimination
+// flops, so the whole-factorization time is effectively the root-front
+// time and the 1D-vs-2D decomposition difference is what the benchmark
+// measures. Analysis is shared across the cases; the numeric runs are not.
+var rootFrontAnalysis = sync.OnceValue(func() *core.Analysis {
+	p, err := workload.ByName(workload.Suite(), "GUPTA3")
+	if err != nil {
+		panic(err)
+	}
+	a := p.Matrix()
+	if !a.HasValues() {
+		if err := sparse.FillDominant(a, rand.New(rand.NewSource(7))); err != nil {
+			panic(err)
+		}
+	}
+	an, err := core.Analyze(a, core.DefaultConfig(order.ND, 8))
+	if err != nil {
+		panic(err)
+	}
+	return an
+})
+
+func rootFrontCases() []kernelBenchCase {
+	mk := func(name string, workers, grid int) kernelBenchCase {
+		return kernelBenchCase{name: "RootFront/gupta3/" + name, fn: func(b *testing.B) {
+			an := rootFrontAnalysis()
+			var rootNs int64
+			n := 0
+			b.ResetTimer()
+			for b.Loop() {
+				cfg := parmf.DefaultConfig(workers)
+				cfg.RootGrid = grid
+				pf, err := an.FactorizeParallel(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rootNs += pf.Stats.RootFrontNs
+				n++
+			}
+			if n > 0 {
+				b.ReportMetric(float64(rootNs)/float64(n)/1e6, "root_ms")
+			}
+		}}
+	}
+	return []kernelBenchCase{
+		// 1 worker never splits: the sequential baseline for both paths.
+		mk("seq/w1", 1, -1),
+		mk("1d/w2", 2, -1),
+		mk("2d/w2", 2, 0),
+		mk("1d/w8", 8, -1),
+		mk("2d/w8", 8, 0),
+	}
+}
+
+// BenchmarkRootFront runs the root-dominated GUPTA3 factorization with the
+// root front on the 1D row partition vs the 2D (type-3) tile grid at 1, 2
+// and 8 workers. ns/op is the whole factorization (~99% root front here);
+// the root_ms metric is the measured root-front wall time. The factors are
+// bitwise identical across every case — only the decomposition of the root
+// front's work changes.
+func BenchmarkRootFront(b *testing.B) {
+	for _, c := range rootFrontCases() {
+		b.Run(c.name[len("RootFront/"):], c.fn)
+	}
+}
+
 // ---- JSON emitter ------------------------------------------------------
 
 type benchRecord struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	MBPerS      float64 `json:"mb_per_s"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerS      float64            `json:"mb_per_s"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"` // custom metrics (e.g. root_ms)
 }
 
 func writeKernelBenchJSON(path string) error {
@@ -269,6 +346,7 @@ func writeKernelBenchJSON(path string) error {
 	cases = append(cases, updateKernelCases()...)
 	cases = append(cases, extendAddCases()...)
 	cases = append(cases, arenaCases()...)
+	cases = append(cases, rootFrontCases()...)
 	var recs []benchRecord
 	for _, c := range cases {
 		r := testing.Benchmark(c.fn)
@@ -279,6 +357,12 @@ func writeKernelBenchJSON(path string) error {
 		}
 		if r.Bytes > 0 && r.T > 0 {
 			rec.MBPerS = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		if len(r.Extra) > 0 {
+			rec.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				rec.Extra[k] = v
+			}
 		}
 		recs = append(recs, rec)
 	}
