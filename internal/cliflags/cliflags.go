@@ -34,6 +34,23 @@ type Common struct {
 	Slaves      string
 	FastKernels bool
 	Small       bool
+	NRHS        int
+}
+
+// Solver is the solve surface the CLIs drive after a factorization:
+// right-hand sides in the original (pre-permutation) ordering, single
+// vector or a row-major n x nrhs block. Both seqmf.Factors and
+// parmf.Factors satisfy it.
+type Solver interface {
+	SolveOriginal(b []float64) ([]float64, error)
+	SolveOriginalMulti(b []float64, nrhs int) ([]float64, error)
+}
+
+// FactorSolver is a Solver whose factor store must be released when the
+// run is done (e.g. an out-of-core spill file).
+type FactorSolver interface {
+	Solver
+	Close() error
 }
 
 // Register declares the common flags on fs (use flag.CommandLine for the
@@ -51,6 +68,7 @@ func (c *Common) Register(fs *flag.FlagSet, defaultWorkers int) {
 	fs.StringVar(&c.Slaves, "slaves", "memory", "slave selection for split fronts: memory (Algorithm 1) or workload")
 	fs.BoolVar(&c.FastKernels, "fast-kernels", false, "reordered-accumulation tiled kernels (residual-validated, not bitwise vs default)")
 	fs.BoolVar(&c.Small, "small", false, "use the reduced (test-scale) suite")
+	fs.IntVar(&c.NRHS, "nrhs", 1, "number of right-hand sides solved as one blocked multi-RHS pass")
 }
 
 // Validate checks the numeric ranges of the common flags.
@@ -63,6 +81,9 @@ func (c *Common) Validate() error {
 	}
 	if c.BlockRows < 1 {
 		return fmt.Errorf("-block-rows must be >= 1 (got %d)", c.BlockRows)
+	}
+	if c.NRHS < 1 {
+		return fmt.Errorf("-nrhs must be >= 1 (got %d)", c.NRHS)
 	}
 	if c.RootGrid < -1 {
 		return fmt.Errorf("-root-grid must be -1 (disable), 0 (auto) or positive grid rows (got %d)", c.RootGrid)

@@ -7,6 +7,16 @@ import (
 
 	"repro/internal/order"
 	"repro/internal/parmf"
+	"repro/internal/seqmf"
+)
+
+// Both executors must satisfy the shared CLI solver surface.
+var (
+	_ Solver = (*seqmf.Factors)(nil)
+	_ Solver = (*parmf.Factors)(nil)
+
+	_ FactorSolver = (*seqmf.Factors)(nil)
+	_ FactorSolver = (*parmf.Factors)(nil)
 )
 
 func parse(t *testing.T, args ...string) (*Common, error) {
@@ -25,7 +35,7 @@ func TestDefaultsValidate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.Workers != 4 || c.BlockRows < 1 || c.FastKernels {
+	if c.Workers != 4 || c.BlockRows < 1 || c.FastKernels || c.NRHS != 1 {
 		t.Fatalf("unexpected defaults %+v", c)
 	}
 	m, err := c.Method()
@@ -46,6 +56,8 @@ func TestValidationRejects(t *testing.T) {
 		{"-matrix", "PRE2", "-front-split", "-64"},
 		{"-matrix", "PRE2", "-block-rows", "0"},
 		{"-matrix", "PRE2", "-block-rows", "-3"},
+		{"-matrix", "PRE2", "-nrhs", "0"},
+		{"-matrix", "PRE2", "-nrhs", "-4"},
 		{"-matrix", "PRE2", "-ordering", "BOGUS"},
 		{"-matrix", "PRE2", "-ordering", ""},
 		{"-matrix", "PRE2", "-slaves", "nobody"},

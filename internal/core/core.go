@@ -249,6 +249,40 @@ func (an *Analysis) FactorizeParallel(cfg parmf.Config) (*parmf.Factors, error) 
 	return parmf.Factorize(an.Permuted, an.Tree, cfg)
 }
 
+// FactorizeAndSolve factors sequentially and solves nrhs right-hand
+// sides in one blocked pass: b is n x nrhs row-major in the *original*
+// (pre-permutation) ordering, as is the returned x. The factors are
+// returned too so the caller can keep solving against them (the
+// "factor once, solve many" service shape); they need no Close for the
+// in-memory store used here.
+func (an *Analysis) FactorizeAndSolve(b []float64, nrhs int) ([]float64, *seqmf.Factors, error) {
+	f, err := an.Factorize()
+	if err != nil {
+		return nil, nil, err
+	}
+	x, err := f.SolveOriginalMulti(b, nrhs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, f, nil
+}
+
+// FactorizeParallelAndSolve is FactorizeAndSolve through the
+// shared-memory parallel executor: the factorization runs with
+// cfg.Workers goroutines and the solve runs tree-parallel with the same
+// worker count, bitwise identical to the sequential solve.
+func (an *Analysis) FactorizeParallelAndSolve(cfg parmf.Config, b []float64, nrhs int) ([]float64, *parmf.Factors, error) {
+	f, err := an.FactorizeParallel(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	x, err := f.SolveOriginalMulti(b, nrhs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, f, nil
+}
+
 // oocOptions resolves Config.OOC, defaulting the resident-buffer budget
 // relative to the problem: 1/16 of the total factor entries (clamped to
 // [1024, 1<<16]), so the spill buffer is always small next to what an

@@ -1,0 +1,276 @@
+package dense
+
+// Blocked triangular-solve kernels of the solve phase: each applies one
+// front's trapezoidal factor piece to an f x nrhs right-hand-side panel
+// W (row-major, one row per front row, one column per RHS), replacing
+// the per-element, single-RHS loops the solve walk used to run inline.
+//
+// The family discipline matches the factorization kernels:
+//
+//   - KernelDefault replays the reference per-element operation order of
+//     the historical scalar solve for every column — including its skip
+//     of zero multipliers in the forward pass (which is *not* a no-op to
+//     drop: subtracting a signed-zero product can flip the sign of a
+//     zero partial sum) and its strict no-skip backward accumulation —
+//     so each column of a multi-RHS solve is bitwise identical to a
+//     single-RHS solve, which is in turn bitwise identical to the
+//     pre-blocked solver.
+//   - KernelFast pairs the update sources (pivot columns forward, solved
+//     rows backward) into compound multiply-adds. The accumulation order
+//     differs from the reference, so results are validated by residual,
+//     but the order is a pure function of the operands: fast solves are
+//     deterministic at any worker count.
+//
+// The forward kernels consume the f x npiv lower trapezoid L (unit
+// diagonal for LU, stored diagonal for Cholesky) and update the full
+// panel; the backward kernels consume the npiv x f upper trapezoid U
+// (LU) or L again (Cholesky, as L^T) and rewrite only the npiv pivot
+// rows of the panel — the trailing rows are read-only inputs there.
+
+// SolveForwardLU applies the unit-lower forward substitution of one
+// front: W[k+1:] -= L[k+1:, k] * W[k] for each pivot k in order.
+func (kern Kernel) SolveForwardLU(L *Matrix, npiv int, W *Matrix) {
+	if kern == KernelFast {
+		solveForwardLUFast(L, npiv, W)
+		return
+	}
+	n, m := W.R, W.C
+	for k := 0; k < npiv; k++ {
+		vk := W.A[k*m : k*m+m]
+		if allZero(vk) {
+			continue
+		}
+		for i := k + 1; i < n; i++ {
+			l := L.At(i, k)
+			wi := W.A[i*m : i*m+m]
+			for c, v := range vk {
+				if v == 0 {
+					continue
+				}
+				wi[c] -= l * v
+			}
+		}
+	}
+}
+
+// SolveForwardCholesky applies the lower forward substitution with the
+// stored diagonal: W[k] /= L[k,k], then the trailing update.
+func (kern Kernel) SolveForwardCholesky(L *Matrix, npiv int, W *Matrix) {
+	if kern == KernelFast {
+		solveForwardCholeskyFast(L, npiv, W)
+		return
+	}
+	n, m := W.R, W.C
+	for k := 0; k < npiv; k++ {
+		d := L.At(k, k)
+		vk := W.A[k*m : k*m+m]
+		for c := range vk {
+			vk[c] /= d
+		}
+		if allZero(vk) {
+			continue
+		}
+		for i := k + 1; i < n; i++ {
+			l := L.At(i, k)
+			wi := W.A[i*m : i*m+m]
+			for c, v := range vk {
+				if v == 0 {
+					continue
+				}
+				wi[c] -= l * v
+			}
+		}
+	}
+}
+
+// SolveBackwardLU applies the upper backward substitution of one front:
+// for each pivot k in reverse, W[k] -= U[k, k+1:] * W[k+1:], then
+// W[k] /= U[k,k]. U is the npiv x f upper trapezoid; rows npiv..f-1 of
+// W are inputs only.
+func (kern Kernel) SolveBackwardLU(U *Matrix, npiv int, W *Matrix) {
+	if kern == KernelFast {
+		solveBackwardLUFast(U, npiv, W)
+		return
+	}
+	n, m := W.R, W.C
+	for k := npiv - 1; k >= 0; k-- {
+		wk := W.A[k*m : k*m+m]
+		uk := U.Row(k)
+		for j := k + 1; j < n; j++ {
+			u := uk[j]
+			wj := W.A[j*m : j*m+m]
+			for c := range wk {
+				wk[c] -= u * wj[c]
+			}
+		}
+		d := uk[k]
+		for c := range wk {
+			wk[c] /= d
+		}
+	}
+}
+
+// SolveBackwardCholesky applies the L^T backward substitution (row k of
+// L^T is column k of L), dividing by the stored diagonal.
+func (kern Kernel) SolveBackwardCholesky(L *Matrix, npiv int, W *Matrix) {
+	if kern == KernelFast {
+		solveBackwardCholeskyFast(L, npiv, W)
+		return
+	}
+	n, m := W.R, W.C
+	for k := npiv - 1; k >= 0; k-- {
+		wk := W.A[k*m : k*m+m]
+		for i := k + 1; i < n; i++ {
+			l := L.At(i, k)
+			wi := W.A[i*m : i*m+m]
+			for c := range wk {
+				wk[c] -= l * wi[c]
+			}
+		}
+		d := L.At(k, k)
+		for c := range wk {
+			wk[c] /= d
+		}
+	}
+}
+
+// allZero reports whether a panel row carries no work for the forward
+// update (the blocked form of the reference's per-element zero skip).
+func allZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// solveForwardLUFast is the reordered-accumulation forward LU: pivot
+// columns are consumed in pairs, each trailing row receiving one
+// compound update — no zero skips, different rounding than the
+// reference, deterministic for fixed operands.
+func solveForwardLUFast(L *Matrix, npiv int, W *Matrix) {
+	n, m := W.R, W.C
+	k := 0
+	for ; k+1 < npiv; k += 2 {
+		va := W.A[k*m : k*m+m]
+		vb := W.A[(k+1)*m : (k+1)*m+m]
+		lba := L.At(k+1, k)
+		for c, v := range va {
+			vb[c] -= lba * v
+		}
+		for i := k + 2; i < n; i++ {
+			la, lb := L.At(i, k), L.At(i, k+1)
+			wi := W.A[i*m : i*m+m]
+			for c := range wi {
+				wi[c] -= la*va[c] + lb*vb[c]
+			}
+		}
+	}
+	for ; k < npiv; k++ {
+		vk := W.A[k*m : k*m+m]
+		for i := k + 1; i < n; i++ {
+			l := L.At(i, k)
+			wi := W.A[i*m : i*m+m]
+			for c := range wi {
+				wi[c] -= l * vk[c]
+			}
+		}
+	}
+}
+
+// solveForwardCholeskyFast is solveForwardLUFast with the diagonal
+// scaling folded into the pair head.
+func solveForwardCholeskyFast(L *Matrix, npiv int, W *Matrix) {
+	n, m := W.R, W.C
+	k := 0
+	for ; k+1 < npiv; k += 2 {
+		da, db := L.At(k, k), L.At(k+1, k+1)
+		va := W.A[k*m : k*m+m]
+		vb := W.A[(k+1)*m : (k+1)*m+m]
+		lba := L.At(k+1, k)
+		for c := range va {
+			va[c] /= da
+			vb[c] = (vb[c] - lba*va[c]) / db
+		}
+		for i := k + 2; i < n; i++ {
+			la, lb := L.At(i, k), L.At(i, k+1)
+			wi := W.A[i*m : i*m+m]
+			for c := range wi {
+				wi[c] -= la*va[c] + lb*vb[c]
+			}
+		}
+	}
+	for ; k < npiv; k++ {
+		d := L.At(k, k)
+		vk := W.A[k*m : k*m+m]
+		for c := range vk {
+			vk[c] /= d
+		}
+		for i := k + 1; i < n; i++ {
+			l := L.At(i, k)
+			wi := W.A[i*m : i*m+m]
+			for c := range wi {
+				wi[c] -= l * vk[c]
+			}
+		}
+	}
+}
+
+// solveBackwardLUFast pairs the solved source rows of each backward
+// accumulation into compound multiply-adds.
+func solveBackwardLUFast(U *Matrix, npiv int, W *Matrix) {
+	n, m := W.R, W.C
+	for k := npiv - 1; k >= 0; k-- {
+		wk := W.A[k*m : k*m+m]
+		uk := U.Row(k)
+		j := k + 1
+		for ; j+1 < n; j += 2 {
+			ua, ub := uk[j], uk[j+1]
+			wa := W.A[j*m : j*m+m]
+			wb := W.A[(j+1)*m : (j+1)*m+m]
+			for c := range wk {
+				wk[c] -= ua*wa[c] + ub*wb[c]
+			}
+		}
+		for ; j < n; j++ {
+			u := uk[j]
+			wj := W.A[j*m : j*m+m]
+			for c := range wk {
+				wk[c] -= u * wj[c]
+			}
+		}
+		d := uk[k]
+		for c := range wk {
+			wk[c] /= d
+		}
+	}
+}
+
+// solveBackwardCholeskyFast is solveBackwardLUFast over column k of L.
+func solveBackwardCholeskyFast(L *Matrix, npiv int, W *Matrix) {
+	n, m := W.R, W.C
+	for k := npiv - 1; k >= 0; k-- {
+		wk := W.A[k*m : k*m+m]
+		i := k + 1
+		for ; i+1 < n; i += 2 {
+			la, lb := L.At(i, k), L.At(i+1, k)
+			wa := W.A[i*m : i*m+m]
+			wb := W.A[(i+1)*m : (i+1)*m+m]
+			for c := range wk {
+				wk[c] -= la*wa[c] + lb*wb[c]
+			}
+		}
+		for ; i < n; i++ {
+			l := L.At(i, k)
+			wi := W.A[i*m : i*m+m]
+			for c := range wk {
+				wk[c] -= l * wi[c]
+			}
+		}
+		d := L.At(k, k)
+		for c := range wk {
+			wk[c] /= d
+		}
+	}
+}

@@ -15,8 +15,11 @@ import (
 // they are produced so only a bounded buffer stays resident.
 //
 // Put may be called concurrently for distinct nodes (the parallel
-// executor's workers each push their own blocks). The solve-phase calls
-// (Prefetch/Fetch/Release) are single-threaded: one solve at a time.
+// executor's workers each push their own blocks). One solve pass
+// sequence may run at a time, bracketed by BeginSolve/EndSolve; within
+// it, Prefetch is single-threaded but Fetch/Release of distinct nodes
+// may come from different goroutines (the tree-parallel solve's
+// workers).
 type Store interface {
 	// SetMeter installs the executor's resident-memory meter. The store
 	// charges it for every block it currently holds in memory (and
@@ -34,6 +37,15 @@ type Store interface {
 	// store (for a file-backed store: written to the spill area). The
 	// executors call it once at the end of the factorization.
 	Flush() error
+	// BeginSolve marks the start of one solve's pass sequence
+	// (Prefetch/Fetch/Release walks). It returns an error when another
+	// solve is already running against the store — overlapping solves
+	// would silently cancel each other's prefetch streams — and must be
+	// paired with EndSolve.
+	BeginSolve() error
+	// EndSolve marks the end of the solve begun by the matching
+	// BeginSolve, releasing any prefetch state the passes left behind.
+	EndSolve()
 	// Prefetch advises the store that subsequent Fetch calls will follow
 	// order, letting it stream blocks ahead of the solve walk. Advisory:
 	// Fetch stays correct in any order.
@@ -87,6 +99,13 @@ func (f *Factors) Put(ni int, nf NodeFactor, entries int64) error {
 
 // Flush is a no-op: in-memory blocks are durable on Put.
 func (f *Factors) Flush() error { return nil }
+
+// BeginSolve is a no-op: the in-memory store has no per-solve state, so
+// concurrent solves (each with its own Solver) are safe.
+func (f *Factors) BeginSolve() error { return nil }
+
+// EndSolve is a no-op.
+func (f *Factors) EndSolve() {}
 
 // Prefetch is a no-op: every block is already resident.
 func (f *Factors) Prefetch([]int) {}

@@ -14,12 +14,15 @@
 // factor footprint; a block larger than the whole budget is still
 // admitted when the buffer is empty, so progress is always possible.
 //
-// The solve side streams blocks back: front.SolveStore announces its
-// access order (postorder, then reverse postorder) via Prefetch, and a
-// reader goroutine loads blocks ahead of the walk into a cache bounded
-// by the same entry budget. A Fetch that outruns the reader falls back
-// to a direct positioned read, so correctness never depends on the
-// prefetch keeping up. One solve may run at a time.
+// The solve side streams blocks back: the solve announces its access
+// order (postorder, then reverse postorder) via Prefetch, and a reader
+// goroutine loads blocks ahead of the walk into a cache bounded by the
+// same entry budget. A Fetch that outruns the reader falls back to a
+// direct positioned read, so correctness never depends on the prefetch
+// keeping up. One solve may run at a time — BeginSolve enforces it by
+// rejecting an overlapping solve (which would silently cancel the
+// running solve's prefetch stream mid-pass); within one solve, Fetch and
+// Release of distinct nodes may come from concurrent workers.
 //
 // Records round-trip float bits exactly (see codec.go), so an
 // out-of-core factorization is bitwise identical to the in-core one.
@@ -55,6 +58,7 @@ type Stats struct {
 	BufferPeak   int64 // peak resident write-buffer occupation (entries)
 	PutWaits     int64 // Put calls that blocked on the buffer budget
 	DirectReads  int64 // solve-phase Fetches served outside the prefetch stream
+	BlocksRead   int64 // spill-file block reads (prefetch stream + direct Fetches)
 }
 
 // ErrClosed is returned by operations on a closed store.
@@ -97,7 +101,8 @@ type FileStore struct {
 	stats      Stats
 
 	// Solve side, reset by each Prefetch.
-	gen      int // prefetch generation; bumping it cancels the reader
+	solving  bool // a BeginSolve/EndSolve bracket is open
+	gen      int  // prefetch generation; bumping it cancels the reader
 	cache    map[int]*front.NodeFactor
 	cached   int64         // entries in cache + handed out via Fetch
 	ahead    int           // blocks in cache (reader lookahead gauge)
@@ -266,6 +271,34 @@ func (s *FileStore) Flush() error {
 	return s.file.Sync()
 }
 
+// BeginSolve opens a solve pass sequence. A second solve against the
+// same store is rejected until the first's EndSolve: its Prefetch calls
+// would cancel the running solve's reader mid-pass and the two walks
+// would fight over the consumed set.
+func (s *FileStore) BeginSolve() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.solving {
+		return fmt.Errorf("ooc: solve already in progress (one solve may run at a time)")
+	}
+	s.solving = true
+	return nil
+}
+
+// EndSolve closes the solve begun by the matching BeginSolve, cancelling
+// its reader and dropping whatever it still had cached (crediting the
+// meter), so the store is quiescent for the next solve.
+func (s *FileStore) EndSolve() {
+	s.mu.Lock()
+	s.solving = false
+	s.gen++ // cancel this solve's reader
+	s.dropCacheLocked()
+	s.mu.Unlock()
+}
+
 // Prefetch starts streaming blocks in the given order into the solve
 // cache, cancelling any previous prefetch and resetting the per-pass
 // consumed set (the backward pass re-reads every block the forward pass
@@ -341,6 +374,7 @@ func (s *FileStore) reader(gen int, order []int) {
 		nf, err := s.readBlock(r)
 
 		s.mu.Lock()
+		s.stats.BlocksRead++
 		if err != nil {
 			if s.err == nil {
 				s.err = err
@@ -408,6 +442,7 @@ func (s *FileStore) Fetch(ni int) (*front.NodeFactor, error) {
 	}
 	e := blockEntries(nf)
 	s.mu.Lock()
+	s.stats.BlocksRead++
 	s.handed[ni] = e
 	s.cached += e
 	s.meter.Add(e)

@@ -1,0 +1,102 @@
+package ooc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// TestOverlappingSolveRejected is the regression test for the solve-pass
+// guard: the doc always said "one solve may run at a time", but nothing
+// enforced it — a second concurrent Prefetch silently cancelled the
+// first solve's reader mid-pass. BeginSolve must reject the overlap and
+// admit a new solve once the first ends.
+func TestOverlappingSolveRejected(t *testing.T) {
+	s, err := NewFileStore(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetMeter(new(memory.Meter))
+	rng := rand.New(rand.NewSource(5))
+	for ni := 0; ni < 4; ni++ {
+		b := randomBlock(rng, 4, 2, true)
+		if err := s.Put(ni, b, int64(len(b.L.A))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.BeginSolve(); err != nil {
+		t.Fatalf("first BeginSolve: %v", err)
+	}
+	if err := s.BeginSolve(); err == nil {
+		t.Fatal("overlapping BeginSolve succeeded; want error")
+	} else if !strings.Contains(err.Error(), "solve already in progress") {
+		t.Fatalf("overlapping BeginSolve: unhelpful error %q", err)
+	}
+	// The running solve is unaffected by the rejected attempt.
+	s.Prefetch([]int{0, 1, 2, 3})
+	for ni := 0; ni < 4; ni++ {
+		if _, err := s.Fetch(ni); err != nil {
+			t.Fatalf("fetch %d during solve: %v", ni, err)
+		}
+		s.Release(ni)
+	}
+	s.EndSolve()
+
+	// A new solve is admitted after the first ends.
+	if err := s.BeginSolve(); err != nil {
+		t.Fatalf("BeginSolve after EndSolve: %v", err)
+	}
+	s.EndSolve()
+
+	// A closed store reports closed, not busy.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginSolve(); err != ErrClosed {
+		t.Fatalf("BeginSolve on closed store: %v, want ErrClosed", err)
+	}
+}
+
+// TestEndSolveDropsCache ends a solve between the prefetch and the walk:
+// whatever the reader cached must be discarded and credited back to the
+// meter, leaving the store quiescent for the next solve.
+func TestEndSolveDropsCache(t *testing.T) {
+	s, err := NewFileStore(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m := new(memory.Meter)
+	s.SetMeter(m)
+	rng := rand.New(rand.NewSource(6))
+	order := make([]int, 6)
+	for ni := range order {
+		order[ni] = ni
+		b := randomBlock(rng, 5, 2, false)
+		if err := s.Put(ni, b, int64(len(b.L.A))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginSolve(); err != nil {
+		t.Fatal(err)
+	}
+	s.Prefetch(order)
+	if _, err := s.Fetch(0); err != nil { // let the pass start
+		t.Fatal(err)
+	}
+	s.Release(0)
+	s.EndSolve()
+	if got := m.Cur(); got != 0 {
+		t.Fatalf("meter holds %d entries after EndSolve; want 0", got)
+	}
+}

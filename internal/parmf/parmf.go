@@ -205,6 +205,10 @@ type Factors struct {
 
 	store front.Store
 	fs    *front.Factors // non-nil when store is the in-memory one
+	kern  dense.Kernel   // kernel family the factorization ran with
+
+	solveOnce sync.Once
+	solver    *TreeSolver
 }
 
 // Front exposes the in-memory per-node factor container (cross-validation
@@ -224,12 +228,39 @@ func (f *Factors) Close() error {
 	return f.store.Close()
 }
 
+// Solver returns a reusable tree-parallel solver over the factors with
+// the given worker count (< 1 uses the factorization's worker count),
+// running the kernel family the factorization used. The result of its
+// solves does not depend on the worker count (see TreeSolver).
+func (f *Factors) Solver(workers int) *TreeSolver {
+	if workers < 1 {
+		workers = f.Stats.Workers
+	}
+	return NewTreeSolver(f.store, f.Tree, f.Kind, workers, f.kern)
+}
+
+// treeSolver is the lazily built default solver (factorization worker
+// count), shared by the Solve* methods so repeated solves reuse the
+// dependency graphs and walk orders.
+func (f *Factors) treeSolver() *TreeSolver {
+	f.solveOnce.Do(func() { f.solver = f.Solver(0) })
+	return f.solver
+}
+
 // Solve solves A x = b in the permuted index space. b is not modified.
 func (f *Factors) Solve(b []float64) ([]float64, error) {
 	if len(b) != f.N {
 		return nil, fmt.Errorf("parmf: rhs length %d, want %d", len(b), f.N)
 	}
-	return front.SolveStore(f.store, f.Tree, f.Kind, b)
+	return f.treeSolver().SolveMulti(b, 1)
+}
+
+// SolveMulti solves nrhs systems at once (b is n x nrhs row-major),
+// tree-parallel with the factorization's worker count: one forward and
+// one backward pass over the factor store however many right-hand sides
+// ride along, each column bitwise identical to a single-RHS Solve.
+func (f *Factors) SolveMulti(b []float64, nrhs int) ([]float64, error) {
+	return f.treeSolver().SolveMulti(b, nrhs)
 }
 
 // SolveOriginal solves for a right-hand side in the original ordering.
@@ -237,7 +268,13 @@ func (f *Factors) SolveOriginal(b []float64) ([]float64, error) {
 	if len(b) != f.N {
 		return nil, fmt.Errorf("parmf: rhs length %d, want %d", len(b), f.N)
 	}
-	return front.SolveOriginalStore(f.store, f.Tree, f.Kind, b)
+	return f.treeSolver().SolveOriginalMulti(b, 1)
+}
+
+// SolveOriginalMulti is SolveMulti for right-hand sides in the original
+// (pre-permutation) ordering.
+func (f *Factors) SolveOriginalMulti(b []float64, nrhs int) ([]float64, error) {
+	return f.treeSolver().SolveOriginalMulti(b, nrhs)
 }
 
 // state is the scheduling state shared by all workers, guarded by mu.
@@ -332,6 +369,7 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 	if cfg.FastKernels {
 		kern = dense.KernelFast
 	}
+	f.kern = kern
 	st.cond = sync.NewCond(&st.mu)
 	st.stats.Workers = cfg.Workers
 	st.stats.PeakBound = cfg.PeakBound

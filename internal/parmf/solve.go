@@ -1,0 +1,253 @@
+package parmf
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/assembly"
+	"repro/internal/dense"
+	"repro/internal/front"
+	"repro/internal/sparse"
+)
+
+// TreeSolver runs the solve phase tree-parallel over a completed
+// factorization: a pool of workers claims fronts as their dependencies
+// complete — the forward pass in postorder as children finish, the
+// backward pass in reverse with a parent-first dependency — mirroring
+// the claim/finish discipline of the factorization's worker pool.
+//
+// Determinism. A worker-count-independent, bitwise-sequential result
+// needs more than "children done" on the forward pass: two fronts in
+// *different* subtrees may share contribution rows (any common ancestor
+// pivot row), and floating-point subtraction orders on a shared row must
+// not depend on scheduling. The forward dependency graph therefore
+// chains, for every global row, the fronts that touch it (pivot rows and
+// CB rows alike) in postorder: each front waits for the previous toucher
+// of every one of its rows. Any topological execution then applies every
+// row's updates in exactly sequential order — the parallel solve is
+// bitwise identical to front.Solver at 1, 2 or any number of workers.
+// The chains subsume the child→parent edges (a child's pivot rows and CB
+// rows all reappear in or under the parent's row set only via shared
+// rows), and the scheduling mutex's claim/finish handoff provides the
+// happens-before for the row data itself.
+//
+// The backward pass is simpler: a front reads its CB rows (pivot rows of
+// ancestors, final once the ancestors completed) and writes only its own
+// pivot rows, so parent-first edges alone make it race-free and exact.
+//
+// A TreeSolver serializes its own solves (scratch and indegree state are
+// per-solver); the store additionally admits one solve at a time.
+type TreeSolver struct {
+	st      front.Store
+	tree    *assembly.Tree
+	kind    sparse.Type
+	kern    dense.Kernel
+	workers int
+
+	mu   sync.Mutex
+	prep bool
+	post []int
+	rev  []int
+	maxF int
+	// Forward-pass DAG: per-row postorder chains, deduplicated.
+	fwdIndeg []int32
+	fwdSuccs [][]int32
+	// Backward-pass DAG: parent-first.
+	bwdIndeg []int32
+	bwdSuccs [][]int32
+}
+
+// NewTreeSolver builds a reusable tree-parallel solve context. workers
+// < 1 is treated as 1; kern selects the triangular-solve kernel family
+// (dense.KernelDefault for the bitwise-reference order).
+func NewTreeSolver(st front.Store, tree *assembly.Tree, kind sparse.Type, workers int, kern dense.Kernel) *TreeSolver {
+	if workers < 1 {
+		workers = 1
+	}
+	return &TreeSolver{st: st, tree: tree, kind: kind, kern: kern, workers: workers}
+}
+
+// prepare builds the walk orders and both dependency graphs once.
+// Callers hold s.mu.
+func (s *TreeSolver) prepare() {
+	if s.prep {
+		return
+	}
+	tree := s.tree
+	s.post = tree.Postorder()
+	s.rev = make([]int, len(s.post))
+	for i, ni := range s.post {
+		s.rev[len(s.post)-1-i] = ni
+	}
+	n := tree.Len()
+	s.fwdIndeg = make([]int32, n)
+	s.fwdSuccs = make([][]int32, n)
+	s.bwdIndeg = make([]int32, n)
+	s.bwdSuccs = make([][]int32, n)
+	lastIn := make([]int32, tree.N) // row -> last front in postorder touching it
+	for i := range lastIn {
+		lastIn[i] = -1
+	}
+	edge := make([]int32, n) // dedup stamp: edge[p] == ni+1 iff p->ni exists
+	for i := range edge {
+		edge[i] = -1
+	}
+	for _, ni := range s.post {
+		nd := &tree.Nodes[ni]
+		if f := nd.NFront(); f > s.maxF {
+			s.maxF = f
+		}
+		chain := func(g int) {
+			if p := lastIn[g]; p >= 0 && int(p) != ni && edge[p] != int32(ni) {
+				edge[p] = int32(ni)
+				s.fwdSuccs[p] = append(s.fwdSuccs[p], int32(ni))
+				s.fwdIndeg[ni]++
+			}
+			lastIn[g] = int32(ni)
+		}
+		for g := nd.Begin; g < nd.End; g++ {
+			chain(g)
+		}
+		for _, g := range nd.Rows {
+			chain(g)
+		}
+		if nd.Parent >= 0 {
+			s.bwdIndeg[ni] = 1
+			s.bwdSuccs[nd.Parent] = append(s.bwdSuccs[nd.Parent], int32(ni))
+		}
+	}
+	s.prep = true
+}
+
+// Solve solves a single right-hand side in the permuted index space.
+func (s *TreeSolver) Solve(b []float64) ([]float64, error) { return s.SolveMulti(b, 1) }
+
+// SolveMulti solves nrhs systems (b is n x nrhs row-major, not
+// modified) with one forward and one backward pass over the factor
+// store, fronts claimed tree-parallel by the solver's workers. The
+// result is bitwise identical to the sequential front.Solver whatever
+// the worker count (with dense.KernelDefault, also bitwise identical to
+// a single-RHS solve per column).
+func (s *TreeSolver) SolveMulti(b []float64, nrhs int) ([]float64, error) {
+	if s.st == nil {
+		return nil, fmt.Errorf("parmf: nil factor store")
+	}
+	if err := front.CheckRHS(s.tree.N, b, nrhs); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prepare()
+	if err := s.st.BeginSolve(); err != nil {
+		return nil, err
+	}
+	defer s.st.EndSolve()
+	x := append([]float64(nil), b...)
+	s.st.Prefetch(s.post)
+	err := s.runPass(s.post, nrhs, s.fwdIndeg, s.fwdSuccs, func(ni int, nf *front.NodeFactor, w []float64) {
+		front.ForwardNodePanel(x, nf, s.kind, nrhs, w, s.kern)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.st.Prefetch(s.rev)
+	err = s.runPass(s.rev, nrhs, s.bwdIndeg, s.bwdSuccs, func(ni int, nf *front.NodeFactor, w []float64) {
+		front.BackwardNodePanel(x, nf, s.kind, nrhs, w, s.kern)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveOriginal solves a single right-hand side given in the original
+// (pre-permutation) ordering.
+func (s *TreeSolver) SolveOriginal(b []float64) ([]float64, error) {
+	return s.SolveOriginalMulti(b, 1)
+}
+
+// SolveOriginalMulti is SolveMulti for right-hand sides in the original
+// ordering, returning x in the original ordering.
+func (s *TreeSolver) SolveOriginalMulti(b []float64, nrhs int) ([]float64, error) {
+	if err := front.CheckRHS(s.tree.N, b, nrhs); err != nil {
+		return nil, err
+	}
+	perm := s.tree.Perm
+	if perm == nil {
+		return s.SolveMulti(b, nrhs)
+	}
+	px, err := s.SolveMulti(front.PermuteRHS(perm, b, nrhs), nrhs)
+	if err != nil {
+		return nil, err
+	}
+	return front.UnpermuteRHS(perm, px, nrhs), nil
+}
+
+// runPass executes one substitution pass: workers claim indegree-zero
+// fronts from a shared ready stack (seeded in reverse walk order so the
+// top is the walk's next front), run the node's panel outside the lock
+// with a per-worker scratch, and finish under the lock, releasing
+// successors. The claim/finish mutex handoff is the happens-before edge
+// between a row's consecutive touchers.
+func (s *TreeSolver) runPass(order []int, nrhs int, indeg []int32, succs [][]int32, apply func(ni int, nf *front.NodeFactor, w []float64)) error {
+	deg := append([]int32(nil), indeg...)
+	ready := make([]int, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		if ni := order[i]; deg[ni] == 0 {
+			ready = append(ready, ni)
+		}
+	}
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		remaining = len(order)
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	scratch := s.maxF * nrhs
+	workers := s.workers
+	if workers > remaining && remaining > 0 {
+		workers = remaining
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]float64, scratch)
+			mu.Lock()
+			for {
+				for firstErr == nil && remaining > 0 && len(ready) == 0 {
+					cond.Wait()
+				}
+				if firstErr != nil || remaining == 0 {
+					mu.Unlock()
+					return
+				}
+				ni := ready[len(ready)-1]
+				ready = ready[:len(ready)-1]
+				mu.Unlock()
+
+				nf, err := s.st.Fetch(ni)
+				if err == nil {
+					apply(ni, nf, buf)
+					s.st.Release(ni)
+				}
+
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				remaining--
+				for _, succ := range succs[ni] {
+					deg[succ]--
+					if deg[succ] == 0 {
+						ready = append(ready, int(succ))
+					}
+				}
+				cond.Broadcast()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

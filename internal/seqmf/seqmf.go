@@ -23,6 +23,7 @@ package seqmf
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/assembly"
 	"repro/internal/dense"
@@ -45,6 +46,10 @@ type Factors struct {
 
 	store front.Store
 	fs    *front.Factors // non-nil when store is the in-memory one
+	kern  dense.Kernel   // kernel family the factorization ran with
+
+	solveOnce sync.Once
+	solver    *front.Solver
 }
 
 // Front exposes the in-memory per-node factor container (used by the
@@ -105,6 +110,7 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 	if opt.FastKernels {
 		kern = dense.KernelFast
 	}
+	f.kern = kern
 	f.Stats.Kernel = kern.String()
 	var meter *memory.Meter
 	f.store, f.fs, meter = front.ResolveStore(opt.Store, tree, pa.Kind, opt.Meter)
@@ -187,6 +193,13 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 	return f, nil
 }
 
+// solve returns the lazily built reusable solver (cached walk orders and
+// scratch panel) running the factorization's kernel family.
+func (f *Factors) solve() *front.Solver {
+	f.solveOnce.Do(func() { f.solver = front.NewSolver(f.store, f.Tree, f.Kind, f.kern) })
+	return f.solver
+}
+
 // Solve solves A x = b for the permuted system (b and the result are in the
 // permuted index space; see SolveOriginal for the original ordering).
 // b is not modified.
@@ -194,7 +207,15 @@ func (f *Factors) Solve(b []float64) ([]float64, error) {
 	if len(b) != f.N {
 		return nil, fmt.Errorf("seqmf: rhs length %d, want %d", len(b), f.N)
 	}
-	return front.SolveStore(f.store, f.Tree, f.Kind, b)
+	return f.solve().SolveMulti(b, 1)
+}
+
+// SolveMulti solves nrhs systems at once: b is n x nrhs row-major and
+// the result has the same shape. The factors stream through the store in
+// one forward and one backward pass total, however many right-hand sides
+// ride along; each column carries the exact bits of a single-RHS Solve.
+func (f *Factors) SolveMulti(b []float64, nrhs int) ([]float64, error) {
+	return f.solve().SolveMulti(b, nrhs)
 }
 
 // SolveOriginal solves for a right-hand side given in the *original*
@@ -203,5 +224,11 @@ func (f *Factors) SolveOriginal(b []float64) ([]float64, error) {
 	if len(b) != f.N {
 		return nil, fmt.Errorf("seqmf: rhs length %d, want %d", len(b), f.N)
 	}
-	return front.SolveOriginalStore(f.store, f.Tree, f.Kind, b)
+	return f.solve().SolveOriginalMulti(b, 1)
+}
+
+// SolveOriginalMulti is SolveMulti for right-hand sides given in the
+// original (pre-permutation) ordering.
+func (f *Factors) SolveOriginalMulti(b []float64, nrhs int) ([]float64, error) {
+	return f.solve().SolveOriginalMulti(b, nrhs)
 }

@@ -1,8 +1,9 @@
 // Per-kernel microbenchmarks for the numeric hot path — the update
 // micro-kernels (element-wise / PR-3 blocked / register-blocked / fast),
-// the run-merged extend-add, the front arena, and the root-front
-// decomposition (1D row blocks vs the 2D type-3 tile grid) — plus a JSON
-// emitter that makes the perf trajectory machine-readable:
+// the run-merged extend-add, the front arena, the root-front
+// decomposition (1D row blocks vs the 2D type-3 tile grid) and the
+// blocked multi-RHS solve phase — plus a JSON emitter that makes the
+// perf trajectory machine-readable:
 //
 //	go test -run '^$' -benchjson BENCH_kernels.json .
 //
@@ -25,8 +26,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/dense"
 	"repro/internal/front"
+	"repro/internal/ooc"
 	"repro/internal/order"
 	"repro/internal/parmf"
+	"repro/internal/seqmf"
 	"repro/internal/sparse"
 	"repro/internal/workload"
 )
@@ -331,6 +334,85 @@ func BenchmarkRootFront(b *testing.B) {
 	}
 }
 
+// ---- solve phase -------------------------------------------------------
+
+type solveBenchState struct {
+	an *core.Analysis
+	sf *seqmf.Factors // in-core factors
+	of *seqmf.Factors // OOC factors (spilled to the store below)
+	st *ooc.FileStore
+}
+
+// solveBenchSetup factors GUPTA3 exactly once per store type and shares
+// the factors across every solve case — the factorizations (~0.4 s each)
+// would otherwise dwarf the tens-of-ms solves being measured.
+var solveBenchSetup = sync.OnceValue(func() *solveBenchState {
+	an := rootFrontAnalysis()
+	sf, err := an.Factorize()
+	if err != nil {
+		panic(err)
+	}
+	of, st, err := an.FactorizeOOC()
+	if err != nil {
+		panic(err)
+	}
+	return &solveBenchState{an: an, sf: sf, of: of, st: st}
+})
+
+func solveCases() []kernelBenchCase {
+	mk := func(store string, workers, nrhs int) kernelBenchCase {
+		name := fmt.Sprintf("Solve/gupta3/%s/w%d/nrhs%d", store, workers, nrhs)
+		return kernelBenchCase{name: name, fn: func(b *testing.B) {
+			s := solveBenchSetup()
+			n := s.an.Permuted.N
+			rng := rand.New(rand.NewSource(31))
+			rhs := make([]float64, n*nrhs)
+			for i := range rhs {
+				rhs[i] = rng.NormFloat64()
+			}
+			f := s.sf
+			if store == "ooc" {
+				f = s.of
+			}
+			solve := func() ([]float64, error) { return f.SolveMulti(rhs, nrhs) }
+			if workers > 1 {
+				ts := parmf.NewTreeSolver(f.Store(), s.an.Tree, s.an.Permuted.Kind, workers, 0)
+				solve = func() ([]float64, error) { return ts.SolveMulti(rhs, nrhs) }
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for b.Loop() {
+				if _, err := solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "solve_ms")
+		}}
+	}
+	var cases []kernelBenchCase
+	for _, store := range []string{"incore", "ooc"} {
+		for _, workers := range []int{1, 2, 8} {
+			for _, nrhs := range []int{1, 16, 64} {
+				cases = append(cases, mk(store, workers, nrhs))
+			}
+		}
+	}
+	return cases
+}
+
+// BenchmarkSolve measures the blocked multi-RHS solve phase on GUPTA3:
+// in-core vs out-of-core factors, sequential (w1) vs tree-parallel (w2,
+// w8) walks, for 1, 16 and 64 right-hand sides in one blocked pass. The
+// factorizations are shared across cases; only the solve is timed
+// (solve_ms = wall ms per whole-block solve). All cases produce bitwise
+// identical columns; OOC cases stream the factor file exactly twice per
+// solve regardless of nrhs.
+func BenchmarkSolve(b *testing.B) {
+	for _, c := range solveCases() {
+		b.Run(c.name[len("Solve/"):], c.fn)
+	}
+}
+
 // ---- JSON emitter ------------------------------------------------------
 
 type benchRecord struct {
@@ -347,6 +429,7 @@ func writeKernelBenchJSON(path string) error {
 	cases = append(cases, extendAddCases()...)
 	cases = append(cases, arenaCases()...)
 	cases = append(cases, rootFrontCases()...)
+	cases = append(cases, solveCases()...)
 	var recs []benchRecord
 	for _, c := range cases {
 		r := testing.Benchmark(c.fn)
