@@ -11,6 +11,13 @@
 //	          [-workers W] [-budget ENTRIES] [-dir DIR] [-prefetch N]
 //	          [-split N] [-front-split N] [-block-rows N] [-root-grid N]
 //	          [-slaves memory|workload] [-fast-kernels] [-nrhs K] [-small]
+//	          [-trace FILE] [-metrics FILE] [-pprof PREFIX]
+//
+// Observability: -trace writes Chrome trace_event JSON covering both runs
+// (the OOC run's store track shows the spill writer and solve-pass
+// reads), -metrics writes the aggregated counters snapshot of the OOC run
+// (Prometheus text format, or JSON with a .json path), and -pprof
+// captures CPU and heap profiles.
 //
 // -workers 1 uses the sequential executor on both sides; higher counts
 // use the shared-memory parallel executor. The solve results of the two
@@ -31,6 +38,7 @@ import (
 
 	"repro/internal/cliflags"
 	"repro/internal/core"
+	"repro/internal/memory"
 	"repro/internal/metrics"
 	"repro/internal/ooc"
 	"repro/internal/parmf"
@@ -59,6 +67,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	obs, err := common.Observability()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Tracer = obs.Tracer
 	cfg.OOC = ooc.Options{Dir: *dir, BufferEntries: *budget, Prefetch: *prefetch}
 	an, err := core.Analyze(a, cfg)
 	if err != nil {
@@ -78,7 +91,7 @@ func main() {
 
 	slaves, _ := common.SlavePolicy() // validated above
 
-	run := func(oocRun bool) (resident int64, factorWall, solveWall time.Duration, x []float64, spill *ooc.Stats) {
+	run := func(oocRun bool) (resident int64, factorWall, solveWall time.Duration, x []float64, spill *ooc.Stats, stats memory.ExecStats) {
 		b := make([]float64, a.N*common.NRHS)
 		rng := rand.New(rand.NewSource(1))
 		for i := range b {
@@ -96,6 +109,7 @@ func main() {
 				}
 				store = fs
 				resident = of.Stats.ResidentPeak
+				stats = of.Stats
 				f = of
 			} else {
 				sf, err := an.Factorize()
@@ -103,6 +117,7 @@ func main() {
 					log.Fatal(err)
 				}
 				resident = sf.Stats.ResidentPeak
+				stats = sf.Stats
 				f = sf
 			}
 			defer f.Close()
@@ -117,6 +132,7 @@ func main() {
 				}
 				store = fs
 				resident = pf.Stats.ResidentPeak
+				stats = pf.Stats.ExecStats
 				defer pf.Close()
 				solver = pf
 			} else {
@@ -125,6 +141,7 @@ func main() {
 					log.Fatal(err)
 				}
 				resident = pf.Stats.ResidentPeak
+				stats = pf.Stats.ExecStats
 				solver = pf
 			}
 		}
@@ -141,11 +158,11 @@ func main() {
 			s := store.Stats()
 			spill = &s
 		}
-		return resident, factorWall, solveWall, x, spill
+		return resident, factorWall, solveWall, x, spill, stats
 	}
 
-	inPeak, inWall, inSolve, xIn, _ := run(false)
-	oocPeak, oocWall, oocSolve, xOOC, spill := run(true)
+	inPeak, inWall, inSolve, xIn, _, _ := run(false)
+	oocPeak, oocWall, oocSolve, xOOC, spill, oocStats := run(true)
 
 	t := metrics.New(fmt.Sprintf("measured vs simulated resident peaks (%d workers, entries)", common.Workers),
 		"source", "in-core total", "OOC resident", "saving %")
@@ -169,6 +186,10 @@ func main() {
 	}
 	fmt.Printf("solve:     residual %.3g; max |x_incore - x_ooc| = %g over %d rhs (bitwise identical factors)\n",
 		residualOf(a, xIn, common.NRHS), maxDiff, common.NRHS)
+
+	if err := obs.Finish(oocStats); err != nil {
+		log.Fatalf("observability outputs: %v", err)
+	}
 }
 
 // residualOf regenerates the run's right-hand-side block (seed 1) and

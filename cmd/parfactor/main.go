@@ -10,6 +10,13 @@
 //	          [-front-split N] [-block-rows N] [-root-grid N]
 //	          [-slaves memory|workload] [-fast-kernels] [-bound ENTRIES]
 //	          [-nrhs K] [-seq] [-small]
+//	          [-trace FILE] [-metrics FILE] [-pprof PREFIX]
+//
+// Observability: -trace writes Chrome trace_event JSON of the run (task,
+// front-phase and solve spans per worker plus exact memory counter
+// tracks; load in chrome://tracing or Perfetto), -metrics writes the
+// aggregated counters snapshot (Prometheus text format, or JSON with a
+// .json path), and -pprof captures CPU and heap profiles.
 //
 // -matrix selects a problem from the paper's Table-1 suite by name
 // (pattern-only analogues are given deterministic diagonally dominant
@@ -76,6 +83,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	obs, err := common.Observability()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Tracer = obs.Tracer
 	an, err := core.Analyze(a, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -163,6 +175,10 @@ func main() {
 			}
 		}
 		fmt.Printf("  max factor diff  %.3g\n", maxDiff)
+	}
+
+	if err := obs.Finish(pf.Stats.ExecStats); err != nil {
+		log.Fatalf("observability outputs: %v", err)
 	}
 }
 

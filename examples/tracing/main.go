@@ -1,18 +1,24 @@
-// Tracing: record per-processor memory traces during the simulated
-// parallel factorization and render them as ASCII sparklines — the
-// Figure 4/6/8-style memory-evolution view of the paper.
+// Tracing: the paper's Figure 4/6/8 memory-evolution view, twice over —
+// the simulator's per-processor prediction next to a *measured* trace of
+// the real shared-memory executor factoring the same matrix with the
+// same processor count. The real run is recorded by internal/trace
+// (attached through core.Config.Tracer): every mutation of each worker's
+// stack/active accounting lands in the event stream, so the measured
+// sparklines are exact, and the run also exports as Chrome trace_event
+// JSON (see cmd/parfactor -trace for the file form).
 package main
 
 import (
 	"fmt"
 	"log"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/memory"
 	"repro/internal/order"
+	"repro/internal/parmf"
 	"repro/internal/parsim"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 const (
@@ -27,77 +33,90 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, s := range []struct {
-		name string
-		st   parsim.Strategy
-	}{
-		{"workload-based", parsim.Workload()},
-		{"memory-based", parsim.MemoryBased()},
-	} {
-		res, err := an.SimulateTraced(s.st)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("=== %s strategy: max peak %d entries, makespan %.1f ms ===\n",
-			s.name, res.MaxActivePeak, float64(res.Makespan)/1e6)
-		for p, tr := range res.Traces {
-			fmt.Printf("P%d |%s| peak %d\n", p, sparkline(tr, res), peak(tr))
-		}
-		fmt.Println()
+
+	// Predicted: the simulator's memory-based strategy with per-processor
+	// traces, in virtual time.
+	res, err := an.SimulateTraced(parsim.MemoryBased())
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("=== predicted (simulator, memory-based): max peak %d entries, makespan %.1f ms virtual ===\n",
+		res.MaxActivePeak, float64(res.Makespan)/1e6)
+	for p, ptr := range res.Traces {
+		pts := simPoints(ptr)
+		fmt.Printf("P%d |%s| peak %d\n",
+			p, trace.Sparkline(pts, cols, int64(res.Makespan), res.MaxActivePeak), seriesPeak(pts))
+	}
+	fmt.Println()
+
+	// Measured: the real executor, same worker count, every span and
+	// memory sample recorded by the tracer. Created here — after the
+	// symbolic phase — so the trace clock starts at the factorization.
+	tr := trace.New(procs)
+	pcfg := parmf.DefaultConfig(procs)
+	pcfg.Tracer = tr
+	pf, err := an.FactorizeParallel(pcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	series := tr.MemorySeries()
+	end := tr.EndNs()
+	// Scale the measured strips to the measured per-worker maximum so the
+	// two views use comparable ramps (each normalized to its own peak).
+	var measMax int64 = 1
+	for _, s := range series {
+		if s.Worker >= 0 && s.Peak() > measMax {
+			measMax = s.Peak()
+		}
+	}
+	fmt.Printf("=== measured (parmf, %d workers): max worker peak %d entries, %d trace events ===\n",
+		pf.Stats.Workers, pf.Stats.PeakStack, tr.Events())
+	for _, s := range series {
+		if s.Worker < 0 {
+			continue
+		}
+		fmt.Printf("W%d |%s| peak %d\n",
+			s.Worker, trace.Sparkline(s.Active, cols, end, measMax), s.Peak())
+	}
+	fmt.Println()
+
+	// Divergence: simulated vs measured per-processor active peaks, and
+	// the exactness guarantee of the recorded resident timeline.
+	fmt.Printf("peak divergence: predicted max/proc %d, measured max/worker %d (%+.1f%%)\n",
+		res.MaxActivePeak, pf.Stats.PeakStack,
+		100*float64(pf.Stats.PeakStack-res.MaxActivePeak)/float64(res.MaxActivePeak))
+	var resident int64
+	for _, s := range series {
+		if s.Worker < 0 && s.Name == "resident" {
+			resident = s.Peak()
+		}
+	}
+	fmt.Printf("resident timeline max %d == ExecStats.ResidentPeak %d: %v\n",
+		resident, pf.Stats.ResidentPeak, resident == pf.Stats.ResidentPeak)
+	fmt.Println()
 	fmt.Println("Each row is one processor's active memory (CB stack + fronts) over")
-	fmt.Println("virtual time; ' .:-=+*#%@' spans 0..global peak. The memory-based")
-	fmt.Println("strategy flattens and balances the profiles.")
+	fmt.Println("time — virtual for the prediction, wall-clock for the measurement;")
+	fmt.Println("' .:-=+*#%@' spans 0..that view's peak. The measured strips come")
+	fmt.Println("from the tracer's exact per-mutation samples, so the printed peaks")
+	fmt.Println("equal the executor's accounting bit for bit.")
 }
 
-func peak(tr []memory.TracePoint) int64 {
+// simPoints converts a simulator trace to the tracer's point form so one
+// renderer draws both views.
+func simPoints(ptr []memory.TracePoint) []trace.Point {
+	pts := make([]trace.Point, len(ptr))
+	for i, t := range ptr {
+		pts[i] = trace.Point{T: int64(t.T), V: t.Active}
+	}
+	return pts
+}
+
+func seriesPeak(pts []trace.Point) int64 {
 	var m int64
-	for _, t := range tr {
-		if t.Active > m {
-			m = t.Active
+	for _, p := range pts {
+		if p.V > m {
+			m = p.V
 		}
 	}
 	return m
-}
-
-func sparkline(tr []memory.TracePoint, res *parsim.Result) string {
-	ramp := []byte(" .:-=+*#%@")
-	if len(tr) == 0 {
-		return strings.Repeat(" ", cols)
-	}
-	end := res.Makespan
-	if end == 0 {
-		end = 1
-	}
-	// Sample the max active memory in each time bucket.
-	buckets := make([]int64, cols)
-	var cur int64
-	bi := 0
-	for _, t := range tr {
-		idx := int(int64(t.T) * int64(cols) / int64(end))
-		if idx >= cols {
-			idx = cols - 1
-		}
-		for bi < idx {
-			bi++
-			buckets[bi] = cur
-		}
-		if t.Active > buckets[idx] {
-			buckets[idx] = t.Active
-		}
-		cur = t.Active
-	}
-	var gmax int64 = 1
-	if m := res.MaxActivePeak; m > 0 {
-		gmax = m
-	}
-	out := make([]byte, cols)
-	for i, v := range buckets {
-		k := int(v * int64(len(ramp)-1) / gmax)
-		if k >= len(ramp) {
-			k = len(ramp) - 1
-		}
-		out[i] = ramp[k]
-	}
-	return string(out)
 }

@@ -35,6 +35,11 @@ type Common struct {
 	FastKernels bool
 	Small       bool
 	NRHS        int
+
+	// Observability outputs (see Observability): empty = disabled.
+	Trace   string // Chrome trace_event JSON path
+	Metrics string // counters snapshot path (.json = JSON, else Prometheus text)
+	Pprof   string // runtime profile path prefix (<prefix>.cpu.pprof, <prefix>.heap.pprof)
 }
 
 // Solver is the solve surface the CLIs drive after a factorization:
@@ -69,6 +74,9 @@ func (c *Common) Register(fs *flag.FlagSet, defaultWorkers int) {
 	fs.BoolVar(&c.FastKernels, "fast-kernels", false, "reordered-accumulation tiled kernels (residual-validated, not bitwise vs default)")
 	fs.BoolVar(&c.Small, "small", false, "use the reduced (test-scale) suite")
 	fs.IntVar(&c.NRHS, "nrhs", 1, "number of right-hand sides solved as one blocked multi-RHS pass")
+	fs.StringVar(&c.Trace, "trace", "", "write Chrome trace_event JSON of the run to this file (chrome://tracing / Perfetto)")
+	fs.StringVar(&c.Metrics, "metrics", "", "write the aggregated counters snapshot to this file (.json = JSON, otherwise Prometheus text format)")
+	fs.StringVar(&c.Pprof, "pprof", "", "capture runtime profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
 }
 
 // Validate checks the numeric ranges of the common flags.
@@ -99,6 +107,47 @@ func (c *Common) Validate() error {
 	}
 	if c.Matrix == "" && c.MM == "" {
 		return fmt.Errorf("need -matrix NAME or -mm FILE")
+	}
+	if err := c.validateOutputs(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateOutputs checks the observability paths: each must be a usable
+// file path (not an existing directory) and the outputs must not collide
+// with each other (-pprof is a prefix, so it collides when a derived
+// profile path equals another output).
+func (c *Common) validateOutputs() error {
+	outs := map[string]string{}
+	add := func(flagName, path string) error {
+		if path == "" {
+			return nil
+		}
+		if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+			return fmt.Errorf("%s %q is a directory", flagName, path)
+		}
+		if prev, ok := outs[path]; ok {
+			return fmt.Errorf("%s %q collides with %s", flagName, path, prev)
+		}
+		outs[path] = flagName
+		return nil
+	}
+	if err := add("-trace", c.Trace); err != nil {
+		return err
+	}
+	if err := add("-metrics", c.Metrics); err != nil {
+		return err
+	}
+	if c.Pprof != "" {
+		if fi, err := os.Stat(c.Pprof); err == nil && fi.IsDir() {
+			return fmt.Errorf("-pprof prefix %q is a directory", c.Pprof)
+		}
+		for _, p := range []string{c.Pprof + ".cpu.pprof", c.Pprof + ".heap.pprof"} {
+			if err := add("-pprof", p); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,110 @@
+package cliflags
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// Obs is the observability lifecycle of one CLI run: it owns the tracer
+// the executors record into and the profile/trace/metrics files the run
+// ends by writing. Build one with Common.Observability after flag
+// parsing, attach Obs.Tracer to the core/executor config, and call
+// Finish with the run's stats before exiting.
+type Obs struct {
+	// Tracer records the run; nil when neither -trace nor -metrics was
+	// given (the executors then skip all event work).
+	Tracer *trace.Tracer
+
+	trace   string
+	metrics string
+	pprof   string
+	cpuFile *os.File
+}
+
+// Observability starts the observability the flags ask for: a CPU
+// profile when -pprof is set, and a tracer when -trace or -metrics is.
+// The zero Obs (all flags empty) is valid and Finish on it is a no-op.
+func (c *Common) Observability() (*Obs, error) {
+	o := &Obs{trace: c.Trace, metrics: c.Metrics, pprof: c.Pprof}
+	if c.Trace != "" || c.Metrics != "" {
+		o.Tracer = trace.New(c.Workers)
+	}
+	if c.Pprof != "" {
+		f, err := os.Create(c.Pprof + ".cpu.pprof")
+		if err != nil {
+			return nil, fmt.Errorf("create CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+		o.cpuFile = f
+	}
+	return o, nil
+}
+
+// Finish stops the CPU profile, writes the heap profile, and renders the
+// trace and metrics outputs. stats is the run's executor stats (zero is
+// fine when the run failed before producing any). Finish reports the
+// first error but always attempts every output.
+func (o *Obs) Finish(stats memory.ExecStats) error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if o.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(o.cpuFile.Close())
+		o.cpuFile = nil
+	}
+	if o.pprof != "" {
+		keep(o.writeHeapProfile(o.pprof + ".heap.pprof"))
+	}
+	if o.trace != "" && o.Tracer != nil {
+		keep(writeTo(o.trace, o.Tracer.WriteChromeTrace))
+	}
+	if o.metrics != "" && o.Tracer != nil {
+		snap := o.Tracer.Snapshot(stats)
+		if strings.HasSuffix(o.metrics, ".json") {
+			keep(writeTo(o.metrics, snap.WriteJSON))
+		} else {
+			keep(writeTo(o.metrics, snap.WritePrometheus))
+		}
+	}
+	return first
+}
+
+func (o *Obs) writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // materialize up-to-date allocation stats
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeTo creates path and streams write into it, closing on all paths.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

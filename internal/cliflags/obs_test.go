@@ -1,0 +1,110 @@
+package cliflags
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// TestObservabilityFlagsAccepted pins the observability flags onto the
+// shared set: both CLIs register through Common.Register, so accepting
+// them here is accepting them in cmd/parfactor and cmd/oocfactor alike.
+func TestObservabilityFlagsAccepted(t *testing.T) {
+	dir := t.TempDir()
+	c, err := parse(t, "-matrix", "PRE2",
+		"-trace", filepath.Join(dir, "run.trace.json"),
+		"-metrics", filepath.Join(dir, "metrics.prom"),
+		"-pprof", filepath.Join(dir, "prof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Trace == "" || c.Metrics == "" || c.Pprof == "" {
+		t.Fatalf("flags not captured: %+v", c)
+	}
+}
+
+func TestObservabilityFlagsOptional(t *testing.T) {
+	c, err := parse(t, "-matrix", "PRE2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Trace != "" || c.Metrics != "" || c.Pprof != "" {
+		t.Fatalf("unset observability flags should stay empty: %+v", c)
+	}
+	o, err := c.Observability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tracer != nil {
+		t.Fatal("tracer created without -trace/-metrics")
+	}
+	if err := o.Finish(memory.ExecStats{}); err != nil {
+		t.Fatalf("Finish on disabled observability: %v", err)
+	}
+}
+
+// TestObservabilityPathValidation pins the rejection cases: outputs that
+// collide with each other (including the profile paths -pprof derives
+// from its prefix) and paths that are existing directories.
+func TestObservabilityPathValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"trace=metrics", []string{"-trace", "out.json", "-metrics", "out.json"}},
+		{"trace is dir", []string{"-trace", dir}},
+		{"metrics is dir", []string{"-metrics", dir}},
+		{"pprof prefix is dir", []string{"-pprof", dir}},
+		{"pprof collides with trace", []string{"-trace", "p.cpu.pprof", "-pprof", "p"}},
+		{"pprof collides with metrics", []string{"-metrics", "p.heap.pprof", "-pprof", "p"}},
+	}
+	for _, tc := range cases {
+		args := append([]string{"-matrix", "PRE2"}, tc.args...)
+		if _, err := parse(t, args...); err == nil {
+			t.Errorf("%s: args %v accepted", tc.name, tc.args)
+		}
+	}
+	// Distinct paths pass.
+	if _, err := parse(t, "-matrix", "PRE2",
+		"-trace", "a.json", "-metrics", "b.prom", "-pprof", "c"); err != nil {
+		t.Errorf("distinct outputs rejected: %v", err)
+	}
+}
+
+// TestObservabilityLifecycle runs the full Obs lifecycle with every
+// output enabled and checks the files appear with plausible content.
+func TestObservabilityLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	c, err := parse(t, "-matrix", "PRE2", "-workers", "2",
+		"-trace", filepath.Join(dir, "run.trace.json"),
+		"-metrics", filepath.Join(dir, "metrics.json"),
+		"-pprof", filepath.Join(dir, "prof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := c.Observability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tracer == nil {
+		t.Fatal("no tracer despite -trace")
+	}
+	o.Tracer.Begin(0, "task", 1)
+	o.Tracer.End(0, "task", 1)
+	if err := o.Finish(memory.ExecStats{Fronts: 1}); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	for _, f := range []string{"run.trace.json", "metrics.json", "prof.cpu.pprof", "prof.heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, f))
+		if err != nil {
+			t.Errorf("missing output %s: %v", f, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("output %s is empty", f)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/parsim"
 	"repro/internal/seqmf"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // Config drives the analysis phase.
@@ -73,6 +74,11 @@ type Config struct {
 	// and FactorizeParallelOOC (zero value = defaults: spill file in the
 	// system temp dir, resident buffer sized by oocOptions).
 	OOC ooc.Options
+	// Tracer, when non-nil, records task/front/store/solve spans and
+	// memory timelines from every numeric factorization run through this
+	// analysis (see internal/trace: Chrome trace_event export, memory
+	// CSV/sparklines, Prometheus-style snapshots). nil = zero overhead.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig returns a standard configuration.
@@ -180,6 +186,7 @@ func (an *Analysis) Factorize() (*seqmf.Factors, error) {
 	opt := seqmf.DefaultOptions()
 	opt.BlockRows = an.blockRows()
 	opt.FastKernels = an.Config.FastKernels
+	opt.Tracer = an.Config.Tracer
 	return seqmf.Factorize(an.Permuted, an.Tree, opt)
 }
 
@@ -246,6 +253,9 @@ func (an *Analysis) FactorizeParallel(cfg parmf.Config) (*parmf.Factors, error) 
 	if an.Config.FastKernels {
 		cfg.FastKernels = true
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = an.Config.Tracer
+	}
 	return parmf.Factorize(an.Permuted, an.Tree, cfg)
 }
 
@@ -301,6 +311,9 @@ func (an *Analysis) oocOptions() ooc.Options {
 		}
 		opt.BufferEntries = b
 	}
+	if opt.Tracer == nil {
+		opt.Tracer = an.Config.Tracer
+	}
 	return opt
 }
 
@@ -319,6 +332,7 @@ func (an *Analysis) FactorizeOOC() (*seqmf.Factors, *ooc.FileStore, error) {
 	opt.Store = st
 	opt.BlockRows = an.blockRows()
 	opt.FastKernels = an.Config.FastKernels
+	opt.Tracer = an.Config.Tracer
 	f, err := seqmf.Factorize(an.Permuted, an.Tree, opt)
 	if err != nil {
 		st.Close()

@@ -10,8 +10,9 @@ import "sync"
 // read is serialized. Quantities remain model entries, exactly as in
 // Tracker, so parallel measurements stay comparable with the simulator's.
 type SafeTracker struct {
-	mu sync.Mutex
-	t  *Tracker
+	mu  sync.Mutex
+	t   *Tracker
+	obs func(worker int, stack, active int64)
 }
 
 // NewSafeTracker returns a concurrency-safe tracker for p workers.
@@ -19,11 +20,33 @@ func NewSafeTracker(p int) *SafeTracker {
 	return &SafeTracker{t: NewTracker(nil, p)}
 }
 
+// Observe installs fn as the tracker's observer: it is invoked under the
+// tracker's lock after every stack or front mutation, with the mutated
+// worker's post-mutation stack and active (stack + fronts) values. Every
+// mutation is observed, so the per-worker maxima of the observed stream
+// equal the worker peaks exactly — the execution tracer builds the
+// paper's per-processor memory timelines from it. A nil fn removes the
+// observer.
+func (s *SafeTracker) Observe(fn func(worker int, stack, active int64)) {
+	s.mu.Lock()
+	s.obs = fn
+	s.mu.Unlock()
+}
+
+// observe reports worker p's state to the observer; callers hold s.mu.
+func (s *SafeTracker) observe(p int) {
+	if s.obs != nil {
+		pr := &s.t.Procs[p]
+		s.obs(p, pr.Stack, pr.Active())
+	}
+}
+
 // PushCB stacks a contribution block of the given size on worker p.
 func (s *SafeTracker) PushCB(p int, entries int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.t.PushCB(p, entries)
+	s.observe(p)
 }
 
 // PopCB removes a contribution block from worker p's stack (callable from
@@ -32,6 +55,7 @@ func (s *SafeTracker) PopCB(p int, entries int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.t.PopCB(p, entries)
+	s.observe(p)
 }
 
 // AllocFront allocates an active front on worker p.
@@ -39,6 +63,7 @@ func (s *SafeTracker) AllocFront(p int, entries int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.t.AllocFront(p, entries)
+	s.observe(p)
 }
 
 // FreeFront releases an active front on worker p.
@@ -46,6 +71,7 @@ func (s *SafeTracker) FreeFront(p int, entries int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.t.FreeFront(p, entries)
+	s.observe(p)
 }
 
 // AddFactors accounts factor entries produced on worker p.

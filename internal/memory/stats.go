@@ -43,6 +43,22 @@ type Meter struct {
 	mu   sync.Mutex
 	cur  int64
 	peak int64
+	obs  func(cur int64)
+}
+
+// Observe installs fn as the meter's observer: it is invoked under the
+// meter's lock with the post-mutation value of every Add, so the
+// sequence of observed values is exactly the gauge's history and its
+// maximum equals Peak. The execution tracer uses this to reconstruct
+// the resident-memory timeline without the executors emitting a single
+// extra sample. A nil fn removes the observer.
+func (m *Meter) Observe(fn func(cur int64)) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.obs = fn
+	m.mu.Unlock()
 }
 
 // Add applies a signed delta to the gauge and updates the peak.
@@ -58,6 +74,9 @@ func (m *Meter) Add(d int64) {
 	}
 	if m.cur > m.peak {
 		m.peak = m.cur
+	}
+	if m.obs != nil {
+		m.obs(m.cur)
 	}
 	m.mu.Unlock()
 }

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/front"
 	"repro/internal/memory"
+	"repro/internal/trace"
 )
 
 // Options configures a FileStore.
@@ -49,6 +50,10 @@ type Options struct {
 	// Prefetch is the maximum number of blocks the solve-phase reader
 	// loads ahead of the walk (0 = 8).
 	Prefetch int
+	// Tracer, when non-nil, records store activity on the trace's store
+	// track: spill-write spans from the writer goroutine and queue/read
+	// instants (see internal/trace). nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // Stats reports what the store did.
@@ -187,6 +192,7 @@ func (s *FileStore) Put(ni int, nf front.NodeFactor, entries int64) error {
 	s.queue = append(s.queue, putReq{ni: ni, nf: nf, entries: entries})
 	s.meter.Add(entries)
 	s.cond.Broadcast()
+	s.opt.Tracer.StoreInstant(trace.EvOOCPut, ni, entries*8)
 	return nil
 }
 
@@ -217,8 +223,11 @@ func (s *FileStore) writer() {
 		off := s.off
 		s.mu.Unlock()
 
+		// Only this goroutine opens store-track spans, so they balance.
+		s.opt.Tracer.StoreBegin(trace.SpanSpill, r.ni)
 		buf = appendBlock(buf[:0], &r.nf)
 		_, werr := s.file.WriteAt(buf, off)
+		s.opt.Tracer.StoreEnd(trace.SpanSpill, r.ni, int64(len(buf)))
 
 		s.mu.Lock()
 		if werr != nil && s.err == nil {
@@ -390,6 +399,7 @@ func (s *FileStore) reader(gen int, order []int) {
 			s.meter.Add(e)
 			s.ahead++
 			s.cond.Broadcast()
+			s.opt.Tracer.StoreInstant(trace.EvPrefetchRead, ni, r.size)
 		}
 		s.mu.Unlock()
 	}
@@ -440,6 +450,7 @@ func (s *FileStore) Fetch(ni int) (*front.NodeFactor, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.opt.Tracer.StoreInstant(trace.EvDirectRead, ni, r.size)
 	e := blockEntries(nf)
 	s.mu.Lock()
 	s.stats.BlocksRead++

@@ -49,6 +49,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/seqmf"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // Policy selects how a worker picks its next task from the shared pool.
@@ -154,6 +155,11 @@ type Config struct {
 	RootGrid int
 	// gridPR/gridPC is the resolved root grid (0 = 2D path disabled).
 	gridPR, gridPC int
+	// Tracer, when non-nil, records task/front/solve spans and memory
+	// counter samples from this run (see internal/trace). nil disables
+	// tracing at zero cost: the workers pay a nil check per event and
+	// allocate nothing.
+	Tracer *trace.Tracer
 	// FastKernels selects the reordered-accumulation fast kernel family
 	// (dense.KernelFast) for every front, split or not: fully tiled
 	// updates that trade the bitwise guarantee for speed, validated by
@@ -203,9 +209,10 @@ type Factors struct {
 	N     int
 	Stats Stats
 
-	store front.Store
-	fs    *front.Factors // non-nil when store is the in-memory one
-	kern  dense.Kernel   // kernel family the factorization ran with
+	store  front.Store
+	fs     *front.Factors // non-nil when store is the in-memory one
+	kern   dense.Kernel   // kernel family the factorization ran with
+	tracer *trace.Tracer  // carried into solvers; nil when untraced
 
 	solveOnce sync.Once
 	solver    *TreeSolver
@@ -236,7 +243,9 @@ func (f *Factors) Solver(workers int) *TreeSolver {
 	if workers < 1 {
 		workers = f.Stats.Workers
 	}
-	return NewTreeSolver(f.store, f.Tree, f.Kind, workers, f.kern)
+	ts := NewTreeSolver(f.store, f.Tree, f.Kind, workers, f.kern)
+	ts.SetTracer(f.tracer)
+	return ts
 }
 
 // treeSolver is the lazily built default solver (factorization worker
@@ -403,6 +412,15 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 	st.stats.Tasks = st.remaining
 
 	tracker := memory.NewSafeTracker(cfg.Workers)
+	if cfg.Tracer != nil {
+		// Observers run under the instruments' own locks, so the recorded
+		// counter samples are the exact gauge histories: the trace's
+		// "resident" maximum equals Stats.ResidentPeak bit for bit.
+		f.tracer = cfg.Tracer
+		cfg.Tracer.EnsureWorkers(cfg.Workers)
+		meter.Observe(cfg.Tracer.MeterObserver())
+		tracker.Observe(cfg.Tracer.TrackerObserver())
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -410,7 +428,7 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 			defer wg.Done()
 			worker{id: id, cfg: cfg, sh: sh, st: st, pl: pl, tracker: tracker,
 				out: f.store, meter: meter, asm: front.NewAssembler(sh),
-				arena: front.NewArena(), kern: kern}.run()
+				arena: front.NewArena(), kern: kern, tr: cfg.Tracer}.run()
 		}(w)
 	}
 	wg.Wait()
@@ -509,6 +527,7 @@ type worker struct {
 	asm     *front.Assembler
 	arena   *front.Arena // front/CB slab recycler; single-threaded, see front.Arena
 	kern    dense.Kernel
+	tr      *trace.Tracer // nil when untraced (every method no-ops)
 }
 
 // taskResult carries a finished task's bookkeeping back under the lock.
@@ -562,6 +581,7 @@ func (w worker) run() {
 		st.inFlight++
 		st.mu.Unlock()
 
+		w.tr.Instant(w.id, trace.EvClaim, task, 0)
 		done = w.processTask(task)
 	}
 }
@@ -602,9 +622,11 @@ func (w worker) runBlockLocked(job *nodepar.Job, i int) {
 
 	// No meter delta: the rows are already resident under the front the
 	// master allocated; the tracker charge is the per-worker model share.
+	w.tr.Begin(w.id, trace.SpanTile, job.Node)
 	w.tracker.AllocFront(w.id, entries)
 	job.Run(i)
 	w.tracker.FreeFront(w.id, entries)
+	w.tr.End(w.id, trace.SpanTile, job.Node)
 
 	st.mu.Lock()
 	st.loads[w.id] -= flops
@@ -708,15 +730,19 @@ func (w worker) selectLocked() (int, bool) {
 func (w worker) processTask(task int) *taskResult {
 	r := &taskResult{task: task}
 	nodes := []int{task}
+	span := trace.SpanTask
 	if w.pl.taskOf[task] == task {
 		nodes = w.pl.taskNodes[task]
+		span = trace.SpanSubtree
 	}
+	w.tr.Begin(w.id, span, task)
 	for _, ni := range nodes {
 		if err := w.processNode(ni, r); err != nil {
 			r.err = err
-			return r
+			break
 		}
 	}
+	w.tr.End(w.id, span, task)
 	return r
 }
 
@@ -742,16 +768,24 @@ func (w worker) processNode(ni int, r *taskResult) error {
 	w.tracker.AllocFront(w.id, charge)
 	w.meter.Add(fe)
 	fr := w.arena.Matrix(nf, nf)
-	if err := w.asm.Scatter(ni, fr); err != nil {
+	w.tr.Begin(w.id, trace.SpanAssemble, ni)
+	err := w.asm.Scatter(ni, fr)
+	w.tr.End(w.id, trace.SpanAssemble, ni)
+	if err != nil {
 		return err
 	}
 
-	for _, c := range nd.Children {
-		n, err := w.asm.ExtendAdd(ni, fr, c, w.st.cbs[c])
-		if err != nil {
-			return err
+	if len(nd.Children) > 0 {
+		w.tr.Begin(w.id, trace.SpanExtendAdd, ni)
+		for _, c := range nd.Children {
+			n, err := w.asm.ExtendAdd(ni, fr, c, w.st.cbs[c])
+			if err != nil {
+				w.tr.End(w.id, trace.SpanExtendAdd, ni)
+				return err
+			}
+			r.assemblyOps += n
 		}
-		r.assemblyOps += n
+		w.tr.End(w.id, trace.SpanExtendAdd, ni)
 	}
 	for _, c := range nd.Children {
 		owner := w.st.cbOwner[c]
@@ -768,12 +802,15 @@ func (w worker) processNode(ni int, r *taskResult) error {
 		w.st.cbs[c] = nil
 	}
 
+	w.tr.Begin(w.id, trace.SpanFactor, ni)
 	if split {
-		if err := w.runSplitFront(ni, fr, r); err != nil {
-			return err
-		}
-	} else if err := front.EliminateKernel(fr, npiv, tree.Kind, w.cfg.PivotTol, w.cfg.BlockRows, w.kern); err != nil {
-		return fmt.Errorf("parmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
+		err = w.runSplitFront(ni, fr, r)
+	} else if kerr := front.EliminateKernel(fr, npiv, tree.Kind, w.cfg.PivotTol, w.cfg.BlockRows, w.kern); kerr != nil {
+		err = fmt.Errorf("parmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, kerr)
+	}
+	w.tr.End(w.id, trace.SpanFactor, ni)
+	if err != nil {
+		return err
 	}
 
 	// The block becomes store-owned (an out-of-core store releases its
@@ -783,6 +820,7 @@ func (w worker) processNode(ni int, r *taskResult) error {
 	if err := w.out.Put(ni, front.ExtractFactor(fr, rows, npiv, tree.Kind), facE); err != nil {
 		return fmt.Errorf("parmf: node %d: %w", ni, err)
 	}
+	w.tr.Instant(w.id, trace.EvPut, ni, facE*8)
 	w.tracker.AddFactors(w.id, facE)
 	w.tracker.FreeFront(w.id, charge)
 	w.meter.Add(-fe)
@@ -873,7 +911,10 @@ func (w worker) runSplitFront(ni int, fr *dense.Matrix, r *taskResult) error {
 	}()
 
 	for _, p := range job.Panels() {
-		if err := job.RunMaster(p); err != nil {
+		w.tr.Begin(w.id, trace.SpanMaster, ni)
+		err := job.RunMaster(p)
+		w.tr.End(w.id, trace.SpanMaster, ni)
+		if err != nil {
 			return fmt.Errorf("parmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
 		}
 		for _, ph := range job.Phases() {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/front"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // TreeSolver runs the solve phase tree-parallel over a completed
@@ -43,6 +44,7 @@ type TreeSolver struct {
 	kind    sparse.Type
 	kern    dense.Kernel
 	workers int
+	tr      *trace.Tracer // nil when untraced
 
 	mu   sync.Mutex
 	prep bool
@@ -65,6 +67,16 @@ func NewTreeSolver(st front.Store, tree *assembly.Tree, kind sparse.Type, worker
 		workers = 1
 	}
 	return &TreeSolver{st: st, tree: tree, kind: kind, kern: kern, workers: workers}
+}
+
+// SetTracer attaches a tracer recording per-node solve spans
+// (trace.SpanSolveFwd / trace.SpanSolveBwd, one per front visit) on the
+// solve workers' tracks. nil detaches. Factors.Solver wires the
+// factorization's tracer through automatically.
+func (s *TreeSolver) SetTracer(tr *trace.Tracer) {
+	s.mu.Lock()
+	s.tr = tr
+	s.mu.Unlock()
 }
 
 // prepare builds the walk orders and both dependency graphs once.
@@ -138,20 +150,21 @@ func (s *TreeSolver) SolveMulti(b []float64, nrhs int) ([]float64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.prepare()
+	s.tr.EnsureWorkers(s.workers)
 	if err := s.st.BeginSolve(); err != nil {
 		return nil, err
 	}
 	defer s.st.EndSolve()
 	x := append([]float64(nil), b...)
 	s.st.Prefetch(s.post)
-	err := s.runPass(s.post, nrhs, s.fwdIndeg, s.fwdSuccs, func(ni int, nf *front.NodeFactor, w []float64) {
+	err := s.runPass(s.post, nrhs, trace.SpanSolveFwd, s.fwdIndeg, s.fwdSuccs, func(ni int, nf *front.NodeFactor, w []float64) {
 		front.ForwardNodePanel(x, nf, s.kind, nrhs, w, s.kern)
 	})
 	if err != nil {
 		return nil, err
 	}
 	s.st.Prefetch(s.rev)
-	err = s.runPass(s.rev, nrhs, s.bwdIndeg, s.bwdSuccs, func(ni int, nf *front.NodeFactor, w []float64) {
+	err = s.runPass(s.rev, nrhs, trace.SpanSolveBwd, s.bwdIndeg, s.bwdSuccs, func(ni int, nf *front.NodeFactor, w []float64) {
 		front.BackwardNodePanel(x, nf, s.kind, nrhs, w, s.kern)
 	})
 	if err != nil {
@@ -189,7 +202,7 @@ func (s *TreeSolver) SolveOriginalMulti(b []float64, nrhs int) ([]float64, error
 // with a per-worker scratch, and finish under the lock, releasing
 // successors. The claim/finish mutex handoff is the happens-before edge
 // between a row's consecutive touchers.
-func (s *TreeSolver) runPass(order []int, nrhs int, indeg []int32, succs [][]int32, apply func(ni int, nf *front.NodeFactor, w []float64)) error {
+func (s *TreeSolver) runPass(order []int, nrhs int, span string, indeg []int32, succs [][]int32, apply func(ni int, nf *front.NodeFactor, w []float64)) error {
 	deg := append([]int32(nil), indeg...)
 	ready := make([]int, 0, len(order))
 	for i := len(order) - 1; i >= 0; i-- {
@@ -211,7 +224,7 @@ func (s *TreeSolver) runPass(order []int, nrhs int, indeg []int32, succs [][]int
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
 			buf := make([]float64, scratch)
 			mu.Lock()
@@ -227,11 +240,13 @@ func (s *TreeSolver) runPass(order []int, nrhs int, indeg []int32, succs [][]int
 				ready = ready[:len(ready)-1]
 				mu.Unlock()
 
+				s.tr.Begin(id, span, ni)
 				nf, err := s.st.Fetch(ni)
 				if err == nil {
 					apply(ni, nf, buf)
 					s.st.Release(ni)
 				}
+				s.tr.End(id, span, ni)
 
 				mu.Lock()
 				if err != nil && firstErr == nil {
@@ -246,7 +261,7 @@ func (s *TreeSolver) runPass(order []int, nrhs int, indeg []int32, succs [][]int
 				}
 				cond.Broadcast()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr

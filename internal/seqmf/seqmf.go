@@ -30,6 +30,7 @@ import (
 	"repro/internal/front"
 	"repro/internal/memory"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // Stats records the memory and work of a factorization in the
@@ -89,6 +90,10 @@ type Options struct {
 	// Meter, when non-nil, replaces the internal resident-memory meter —
 	// pass one to share accounting with an enclosing measurement.
 	Meter *memory.Meter
+	// Tracer, when non-nil, records front-phase spans (on worker track 0)
+	// and resident-gauge counter samples from this run (see
+	// internal/trace). nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // DefaultOptions returns the standard settings.
@@ -114,6 +119,14 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 	f.Stats.Kernel = kern.String()
 	var meter *memory.Meter
 	f.store, f.fs, meter = front.ResolveStore(opt.Store, tree, pa.Kind, opt.Meter)
+	tr := opt.Tracer
+	if tr != nil {
+		// The whole walk runs on one goroutine: all spans land on worker
+		// track 0. The meter observer makes the trace's "resident" counter
+		// the exact gauge history (its max == Stats.ResidentPeak).
+		tr.EnsureWorkers(1)
+		meter.Observe(tr.MeterObserver())
+	}
 	asm := front.NewAssembler(sh)
 	arena := front.NewArena() // fronts and CBs recycle through here
 
@@ -136,17 +149,25 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		meter.Add(frontEntries)
 		bump(stack + frontEntries)
 
-		if err := asm.Scatter(ni, fr); err != nil {
+		tr.Begin(0, trace.SpanAssemble, ni)
+		err := asm.Scatter(ni, fr)
+		tr.End(0, trace.SpanAssemble, ni)
+		if err != nil {
 			return nil, err
 		}
 
 		// Extend-add children, then free their CBs.
-		for _, c := range nd.Children {
-			ops, err := asm.ExtendAdd(ni, fr, c, cbs[c])
-			if err != nil {
-				return nil, err
+		if len(nd.Children) > 0 {
+			tr.Begin(0, trace.SpanExtendAdd, ni)
+			for _, c := range nd.Children {
+				ops, err := asm.ExtendAdd(ni, fr, c, cbs[c])
+				if err != nil {
+					tr.End(0, trace.SpanExtendAdd, ni)
+					return nil, err
+				}
+				f.Stats.AssemblyOps += ops
 			}
-			f.Stats.AssemblyOps += ops
+			tr.End(0, trace.SpanExtendAdd, ni)
 		}
 		for _, c := range nd.Children {
 			ce := assembly.CBEntries(&tree.Nodes[c], tree.Kind)
@@ -158,7 +179,10 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		bump(stack + frontEntries)
 
 		// Partial factorization.
-		if err := front.EliminateKernel(fr, npiv, pa.Kind, opt.PivotTol, opt.BlockRows, kern); err != nil {
+		tr.Begin(0, trace.SpanFactor, ni)
+		err = front.EliminateKernel(fr, npiv, pa.Kind, opt.PivotTol, opt.BlockRows, kern)
+		tr.End(0, trace.SpanFactor, ni)
+		if err != nil {
 			return nil, fmt.Errorf("seqmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
 		}
 
@@ -168,6 +192,7 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		if err := f.store.Put(ni, front.ExtractFactor(fr, rows, npiv, pa.Kind), fe); err != nil {
 			return nil, fmt.Errorf("seqmf: node %d: %w", ni, err)
 		}
+		tr.Instant(0, trace.EvPut, ni, fe*8)
 		f.Stats.FactorEntries += fe
 		f.Stats.Fronts++
 		if nf > f.Stats.MaxFront {

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteChromeTrace writes the recorded run as Chrome trace_event JSON
+// (the "JSON array format"): load the file in chrome://tracing or
+// https://ui.perfetto.dev. Each tracer track becomes one thread (tid) of
+// one process — worker spans nest on their worker's thread, the OOC
+// store has its own thread, and the memory samples become counter
+// events: one "resident" counter for the global gauge and a
+// "mem worker N" counter with stack/active series per worker, so the
+// per-processor memory timelines of the paper's figures render as
+// counter tracks above the span rows.
+//
+// Timestamps are microseconds (Chrome's unit) with the tracer's
+// nanosecond resolution preserved as fractions.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(e chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+	for _, tk := range t.Tracks() {
+		// Name the thread; sort_index keeps global/store/workers in order.
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: tk.Index,
+			Args: map[string]any{"name": tk.Name}}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: 1, Tid: tk.Index,
+			Args: map[string]any{"sort_index": tk.Index}}); err != nil {
+			return err
+		}
+		worker := WorkerIndex(tk.Index)
+		for _, e := range tk.Events {
+			ts := float64(e.T) / 1e3
+			var ce chromeEvent
+			switch e.Kind {
+			case KindBegin:
+				ce = chromeEvent{Name: e.Name, Cat: "span", Ph: "B", Ts: &ts, Pid: 1, Tid: tk.Index}
+				if e.Node >= 0 {
+					ce.Args = map[string]any{"node": e.Node}
+				}
+			case KindEnd:
+				ce = chromeEvent{Name: e.Name, Cat: "span", Ph: "E", Ts: &ts, Pid: 1, Tid: tk.Index}
+				if e.V1 != 0 {
+					ce.Args = map[string]any{"bytes": e.V1}
+				}
+			case KindInstant:
+				ce = chromeEvent{Name: e.Name, Cat: "event", Ph: "i", S: "t", Ts: &ts, Pid: 1, Tid: tk.Index}
+				args := map[string]any{}
+				if e.Node >= 0 {
+					args["node"] = e.Node
+				}
+				if e.V1 != 0 {
+					args["bytes"] = e.V1
+				}
+				if len(args) > 0 {
+					ce.Args = args
+				}
+			case KindCounter:
+				// Counter names are process-scoped in the trace viewer;
+				// qualify per-worker samples with the worker id.
+				name := e.Name
+				var args map[string]any
+				if worker >= 0 {
+					name = CounterMem + " worker " + strconv.Itoa(worker)
+					args = map[string]any{"stack": e.V1, "active": e.V2}
+				} else {
+					args = map[string]any{"entries": e.V1}
+				}
+				ce = chromeEvent{Name: name, Cat: "memory", Ph: "C", Ts: &ts, Pid: 1, Tid: tk.Index, Args: args}
+			default:
+				continue
+			}
+			if err := emit(ce); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one trace_event record. Ts is a pointer so metadata
+// events (ph "M") omit it entirely.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	S    string         `json:"s,omitempty"`
+	Ts   *float64       `json:"ts,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ValidateChromeTrace checks that data is a structurally sound Chrome
+// trace: valid JSON array; every event has a name and a known phase;
+// per (pid, tid) track, timestamps are nondecreasing and B/E span events
+// balance like a call stack (an E always closes the innermost open B of
+// the same name, and nothing stays open at the end). The CI smoke step
+// and the golden tests run real CLI output through it.
+func ValidateChromeTrace(data []byte) error {
+	var events []chromeEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("trace: invalid JSON: %w", err)
+	}
+	type key struct{ pid, tid int }
+	lastTs := map[key]float64{}
+	stacks := map[key][]string{}
+	for i, e := range events {
+		if e.Name == "" {
+			return fmt.Errorf("trace: event %d has no name", i)
+		}
+		switch e.Ph {
+		case "M":
+			continue // metadata carries no timestamp
+		case "B", "E", "i", "C", "X":
+		default:
+			return fmt.Errorf("trace: event %d (%q) has unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Ts == nil {
+			return fmt.Errorf("trace: event %d (%q, ph %s) has no ts", i, e.Name, e.Ph)
+		}
+		k := key{e.Pid, e.Tid}
+		if last, ok := lastTs[k]; ok && *e.Ts < last {
+			return fmt.Errorf("trace: event %d (%q) on pid %d tid %d goes back in time (%.3f < %.3f)",
+				i, e.Name, e.Pid, e.Tid, *e.Ts, last)
+		}
+		lastTs[k] = *e.Ts
+		switch e.Ph {
+		case "B":
+			stacks[k] = append(stacks[k], e.Name)
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				return fmt.Errorf("trace: event %d: E %q on pid %d tid %d with no open span", i, e.Name, e.Pid, e.Tid)
+			}
+			if top := st[len(st)-1]; top != e.Name {
+				return fmt.Errorf("trace: event %d: E %q does not match open span %q on pid %d tid %d",
+					i, e.Name, top, e.Pid, e.Tid)
+			}
+			stacks[k] = st[:len(st)-1]
+		}
+	}
+	for k, st := range stacks {
+		if len(st) > 0 {
+			return fmt.Errorf("trace: pid %d tid %d ends with %d unclosed span(s), innermost %q",
+				k.pid, k.tid, len(st), st[len(st)-1])
+		}
+	}
+	return nil
+}

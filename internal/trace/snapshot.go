@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/memory"
+)
+
+// PhaseStat aggregates every span or instant of one name across tracks.
+type PhaseStat struct {
+	Phase string `json:"phase"`
+	// Count is completed spans (B/E pairs) plus instants.
+	Count int64 `json:"count"`
+	// Seconds is the summed span duration (0 for pure instants).
+	Seconds float64 `json:"seconds"`
+	// Bytes sums the byte payloads (OOC events).
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// WorkerStat is one worker track's summary.
+type WorkerStat struct {
+	Worker int `json:"worker"`
+	// PeakStack / PeakActive are the maxima of the worker's sampled
+	// memory timeline (model entries) — equal to the executor's
+	// per-worker peaks because every mutation is sampled.
+	PeakStack  int64 `json:"peak_stack_entries"`
+	PeakActive int64 `json:"peak_active_entries"`
+	// Spans is the worker's completed span count (its task activity).
+	Spans int64 `json:"spans"`
+}
+
+// Snapshot is the aggregated counters view of one run: the
+// executor-independent memory.ExecStats plus the per-phase time/byte
+// counters and per-worker peaks derived from the trace. It is what a
+// long-running solve service would export on a scrape endpoint; render
+// it with WritePrometheus (text exposition format) or WriteJSON.
+type Snapshot struct {
+	Stats   memory.ExecStats `json:"stats"`
+	Workers int              `json:"workers"`
+	// WallSeconds spans the first to the last recorded event.
+	WallSeconds float64      `json:"wall_seconds"`
+	Events      int64        `json:"events"`
+	Phases      []PhaseStat  `json:"phases"`
+	PerWorker   []WorkerStat `json:"per_worker"`
+}
+
+// Snapshot aggregates the recorded events with the run's ExecStats.
+func (t *Tracer) Snapshot(stats memory.ExecStats) Snapshot {
+	s := Snapshot{Stats: stats}
+	if t == nil {
+		return s
+	}
+	phases := map[string]*PhaseStat{}
+	var t0, t1 int64 = -1, 0
+	type open struct {
+		name string
+		t    int64
+	}
+	for _, tk := range t.Tracks() {
+		w := WorkerIndex(tk.Index)
+		var ws WorkerStat
+		ws.Worker = w
+		var stack []open
+		for _, e := range tk.Events {
+			s.Events++
+			if t0 < 0 || e.T < t0 {
+				t0 = e.T
+			}
+			if e.T > t1 {
+				t1 = e.T
+			}
+			get := func() *PhaseStat {
+				p := phases[e.Name]
+				if p == nil {
+					p = &PhaseStat{Phase: e.Name}
+					phases[e.Name] = p
+				}
+				return p
+			}
+			switch e.Kind {
+			case KindBegin:
+				stack = append(stack, open{e.Name, e.T})
+			case KindEnd:
+				// Tolerate an unbalanced stream (aborted run): an E without
+				// its B is counted but contributes no duration.
+				p := get()
+				p.Count++
+				p.Bytes += e.V1
+				for i := len(stack) - 1; i >= 0; i-- {
+					if stack[i].name == e.Name {
+						p.Seconds += float64(e.T-stack[i].t) / 1e9
+						stack = append(stack[:i], stack[i+1:]...)
+						break
+					}
+				}
+				if w >= 0 {
+					ws.Spans++
+				}
+			case KindInstant:
+				p := get()
+				p.Count++
+				p.Bytes += e.V1
+			case KindCounter:
+				if w >= 0 {
+					if e.V1 > ws.PeakStack {
+						ws.PeakStack = e.V1
+					}
+					if e.V2 > ws.PeakActive {
+						ws.PeakActive = e.V2
+					}
+				}
+			}
+		}
+		if w >= 0 {
+			s.PerWorker = append(s.PerWorker, ws)
+			s.Workers++
+		}
+	}
+	if t0 >= 0 && t1 > t0 {
+		s.WallSeconds = float64(t1-t0) / 1e9
+	}
+	for _, p := range phases {
+		s.Phases = append(s.Phases, *p)
+	}
+	sort.Slice(s.Phases, func(i, j int) bool { return s.Phases[i].Phase < s.Phases[j].Phase })
+	sort.Slice(s.PerWorker, func(i, j int) bool { return s.PerWorker[i].Worker < s.PerWorker[j].Worker })
+	return s
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges with # HELP/# TYPE
+// headers, per-phase series labelled {phase="..."} and per-worker series
+// labelled {worker="..."}. A solve server serves exactly this body on
+// its /metrics endpoint.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	p := func(format string, args ...any) { fmt.Fprintf(bw, format, args...) }
+	head := func(name, help, typ string) {
+		p("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	head("mf_factor_entries_total", "Factor storage produced (model entries).", "counter")
+	p("mf_factor_entries_total %d\n", s.Stats.FactorEntries)
+	head("mf_fronts_total", "Fronts processed.", "counter")
+	p("mf_fronts_total %d\n", s.Stats.Fronts)
+	head("mf_assembly_ops_total", "Extend-add operations.", "counter")
+	p("mf_assembly_ops_total %d\n", s.Stats.AssemblyOps)
+	head("mf_max_front_order", "Largest front order.", "gauge")
+	p("mf_max_front_order %d\n", s.Stats.MaxFront)
+	head("mf_peak_stack_entries", "Max over workers of the stack+front peak (model entries).", "gauge")
+	p("mf_peak_stack_entries %d\n", s.Stats.PeakStack)
+	head("mf_resident_peak_entries", "Whole-process resident peak: fronts + CBs + store-owned factor blocks (model entries).", "gauge")
+	p("mf_resident_peak_entries %d\n", s.Stats.ResidentPeak)
+	head("mf_final_stack_entries", "Stack entries left at the end of the factorization.", "gauge")
+	p("mf_final_stack_entries %d\n", s.Stats.FinalStack)
+	if s.Stats.Kernel != "" {
+		head("mf_kernel_info", "Kernel family the run used (value is always 1).", "gauge")
+		p("mf_kernel_info{kernel=%q} 1\n", s.Stats.Kernel)
+	}
+	head("mf_workers", "Worker tracks recorded.", "gauge")
+	p("mf_workers %d\n", s.Workers)
+	head("mf_trace_events_total", "Events the tracer recorded.", "counter")
+	p("mf_trace_events_total %d\n", s.Events)
+	head("mf_wall_seconds", "First-to-last event wall time.", "gauge")
+	p("mf_wall_seconds %g\n", s.WallSeconds)
+
+	if len(s.Phases) > 0 {
+		head("mf_phase_seconds_total", "Summed span duration per phase.", "counter")
+		for _, ph := range s.Phases {
+			p("mf_phase_seconds_total{phase=%q} %g\n", ph.Phase, ph.Seconds)
+		}
+		head("mf_phase_count_total", "Completed spans / instants per phase.", "counter")
+		for _, ph := range s.Phases {
+			p("mf_phase_count_total{phase=%q} %d\n", ph.Phase, ph.Count)
+		}
+		head("mf_phase_bytes_total", "Byte payload per phase (OOC spill/read events).", "counter")
+		for _, ph := range s.Phases {
+			if ph.Bytes != 0 {
+				p("mf_phase_bytes_total{phase=%q} %d\n", ph.Phase, ph.Bytes)
+			}
+		}
+	}
+	if len(s.PerWorker) > 0 {
+		head("mf_worker_peak_active_entries", "Per-worker active-memory peak (model entries).", "gauge")
+		for _, ws := range s.PerWorker {
+			p("mf_worker_peak_active_entries{worker=\"%d\"} %d\n", ws.Worker, ws.PeakActive)
+		}
+		head("mf_worker_peak_stack_entries", "Per-worker CB-stack-only peak (model entries).", "gauge")
+		for _, ws := range s.PerWorker {
+			p("mf_worker_peak_stack_entries{worker=\"%d\"} %d\n", ws.Worker, ws.PeakStack)
+		}
+		head("mf_worker_spans_total", "Completed spans per worker.", "counter")
+		for _, ws := range s.PerWorker {
+			p("mf_worker_spans_total{worker=\"%d\"} %d\n", ws.Worker, ws.Spans)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes the snapshot as indented JSON — the same data the
+// Prometheus rendering exposes, for programmatic consumers.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

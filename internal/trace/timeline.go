@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Point is one sample of a memory series: value v (model entries) from
+// time T (ns since tracer start) until the next point.
+type Point struct {
+	T int64
+	V int64
+}
+
+// Series is one reconstructed memory timeline.
+type Series struct {
+	// Name is "resident" for the global gauge, "worker N" otherwise.
+	Name string
+	// Worker is the worker id, or -1 for the global resident series.
+	Worker int
+	// Stack holds the CB-stack-only samples (empty for the global series).
+	Stack []Point
+	// Active holds the stack+fronts samples (resident gauge for global).
+	Active []Point
+}
+
+// Peak returns the series' maximum active value.
+func (s Series) Peak() int64 {
+	var m int64
+	for _, p := range s.Active {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// MemorySeries reconstructs the memory timelines from the recorded
+// counter samples: the global resident series first, then one series
+// per worker in id order. Because the samples come from the meter and
+// tracker observers (one per mutation, emitted under the instruments'
+// locks), the global series' maximum equals ExecStats.ResidentPeak and
+// each worker series' maximum equals that worker's active peak, exactly.
+func (t *Tracer) MemorySeries() []Series {
+	if t == nil {
+		return nil
+	}
+	var out []Series
+	for _, tk := range t.Tracks() {
+		w := WorkerIndex(tk.Index)
+		s := Series{Worker: w}
+		if tk.Index == TrackGlobal {
+			s.Name = "resident"
+		} else if w >= 0 {
+			s.Name = tk.Name
+		} else {
+			continue // store track carries no counters
+		}
+		for _, e := range tk.Events {
+			if e.Kind != KindCounter {
+				continue
+			}
+			if w >= 0 {
+				s.Stack = append(s.Stack, Point{T: e.T, V: e.V1})
+				s.Active = append(s.Active, Point{T: e.T, V: e.V2})
+			} else {
+				s.Active = append(s.Active, Point{T: e.T, V: e.V1})
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// EndNs returns the timestamp of the last recorded event (ns), the
+// natural right edge for rendering timelines.
+func (t *Tracer) EndNs() int64 {
+	var end int64
+	if t == nil {
+		return 0
+	}
+	for _, tk := range t.Tracks() {
+		if n := len(tk.Events); n > 0 {
+			if last := tk.Events[n-1].T; last > end {
+				end = last
+			}
+		}
+	}
+	return end
+}
+
+// WriteMemoryCSV writes every memory series as CSV with columns
+// series,t_ns,stack_entries,active_entries — the raw data behind the
+// sparklines, one row per recorded sample (the global resident series
+// leaves stack_entries empty). It replaces the simulator-only trace
+// export: the same plot scripts consume either.
+func (t *Tracer) WriteMemoryCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "series,t_ns,stack_entries,active_entries"); err != nil {
+		return err
+	}
+	for _, s := range t.MemorySeries() {
+		for i, p := range s.Active {
+			stack := ""
+			if i < len(s.Stack) {
+				stack = fmt.Sprintf("%d", s.Stack[i].V)
+			}
+			if _, err := fmt.Fprintf(bw, "%s,%d,%s,%d\n", s.Name, p.T, stack, p.V); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Sparkline renders points as a cols-wide ASCII strip: each column shows
+// the maximum value inside its time bucket on the ' .:-=+*#%@' ramp,
+// scaled to max (values at or above max render '@'). end is the
+// timeline's right edge in ns; samples hold their value until the next
+// one, exactly like the simulator's trace renderer, so predicted and
+// measured strips are visually comparable.
+func Sparkline(points []Point, cols int, end, max int64) string {
+	ramp := []byte(" .:-=+*#%@")
+	if cols <= 0 {
+		return ""
+	}
+	if len(points) == 0 {
+		return strings.Repeat(" ", cols)
+	}
+	if end <= 0 {
+		end = 1
+	}
+	if max <= 0 {
+		max = 1
+	}
+	buckets := make([]int64, cols)
+	var cur int64
+	bi := 0
+	for _, p := range points {
+		idx := int(p.T * int64(cols) / end)
+		if idx >= cols {
+			idx = cols - 1
+		}
+		for bi < idx {
+			bi++
+			buckets[bi] = cur
+		}
+		if p.V > buckets[idx] {
+			buckets[idx] = p.V
+		}
+		cur = p.V
+	}
+	for bi+1 < cols {
+		bi++
+		buckets[bi] = cur
+	}
+	out := make([]byte, cols)
+	for i, v := range buckets {
+		k := int(v * int64(len(ramp)-1) / max)
+		if k >= len(ramp) {
+			k = len(ramp) - 1
+		}
+		out[i] = ramp[k]
+	}
+	return string(out)
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/parmf"
 	"repro/internal/seqmf"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -413,6 +414,66 @@ func BenchmarkSolve(b *testing.B) {
 	}
 }
 
+// ---- tracing overhead ---------------------------------------------------
+
+func tracingCases() []kernelBenchCase {
+	mkRun := func(name string, traced bool) kernelBenchCase {
+		return kernelBenchCase{name: "Tracing/gupta3/" + name, fn: func(b *testing.B) {
+			an := rootFrontAnalysis()
+			var events int64
+			n := 0
+			b.ResetTimer()
+			for b.Loop() {
+				cfg := parmf.DefaultConfig(8)
+				if traced {
+					cfg.Tracer = trace.New(8)
+				}
+				if _, err := an.FactorizeParallel(cfg); err != nil {
+					b.Fatal(err)
+				}
+				events += int64(cfg.Tracer.Events())
+				n++
+			}
+			if traced && n > 0 {
+				b.ReportMetric(float64(events)/float64(n), "events/op")
+			}
+		}}
+	}
+	return []kernelBenchCase{
+		mkRun("untraced/w8", false),
+		mkRun("traced/w8", true),
+		// The per-event cost an executor pays when tracing is disabled:
+		// one task's worth of nil-tracer calls (must be 0 allocs/op).
+		{name: "Tracing/nilops", fn: func(b *testing.B) {
+			var tr *trace.Tracer
+			b.ReportAllocs()
+			for b.Loop() {
+				tr.Instant(0, trace.EvClaim, 1, 0)
+				tr.Begin(0, trace.SpanTask, 1)
+				tr.Begin(0, trace.SpanAssemble, 1)
+				tr.End(0, trace.SpanAssemble, 1)
+				tr.Begin(0, trace.SpanFactor, 1)
+				tr.End(0, trace.SpanFactor, 1)
+				tr.Instant(0, trace.EvPut, 1, 64)
+				tr.End(0, trace.SpanTask, 1)
+			}
+		}},
+	}
+}
+
+// BenchmarkTracing measures the observability overhead on the GUPTA3
+// factorization at 8 workers: an untraced run (nil tracer — the baseline
+// the executors must not regress) against a fully traced one (all spans
+// plus per-mutation memory counters; events/op reports the recorded
+// volume). Tracing/nilops isolates the disabled path itself: a task's
+// worth of nil-receiver calls, pinned at 0 allocs/op by
+// trace.TestNilTracerZeroAllocs.
+func BenchmarkTracing(b *testing.B) {
+	for _, c := range tracingCases() {
+		b.Run(c.name[len("Tracing/"):], c.fn)
+	}
+}
+
 // ---- JSON emitter ------------------------------------------------------
 
 type benchRecord struct {
@@ -430,6 +491,7 @@ func writeKernelBenchJSON(path string) error {
 	cases = append(cases, arenaCases()...)
 	cases = append(cases, rootFrontCases()...)
 	cases = append(cases, solveCases()...)
+	cases = append(cases, tracingCases()...)
 	var recs []benchRecord
 	for _, c := range cases {
 		r := testing.Benchmark(c.fn)
