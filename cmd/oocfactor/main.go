@@ -12,12 +12,17 @@
 //	          [-split N] [-front-split N] [-block-rows N] [-root-grid N]
 //	          [-slaves memory|workload] [-fast-kernels] [-nrhs K] [-small]
 //	          [-trace FILE] [-metrics FILE] [-pprof PREFIX]
+//	          [-listen HOST:PORT] [-listen-linger D]
 //
 // Observability: -trace writes Chrome trace_event JSON covering both runs
 // (the OOC run's store track shows the spill writer and solve-pass
 // reads), -metrics writes the aggregated counters snapshot of the OOC run
 // (Prometheus text format, or JSON with a .json path), and -pprof
-// captures CPU and heap profiles.
+// captures CPU and heap profiles. -listen serves the live observability
+// plane (/metrics, /progress, /runs, /debug/pprof, /trace.json,
+// /timeline.csv) while the runs execute — during the OOC run /progress
+// also carries the spill-store counters, including the live write-buffer
+// occupation. -listen-linger keeps the server up after completion.
 //
 // -workers 1 uses the sequential executor on both sides; higher counts
 // use the shared-memory parallel executor. The solve results of the two
@@ -146,6 +151,12 @@ func main() {
 			}
 		}
 		factorWall = time.Since(t0)
+		if store != nil && obs.Run != nil {
+			// /progress carries the spill-store counters from here on (the
+			// solve phase still accrues reads, and the final numbers stay
+			// visible through -listen-linger).
+			obs.Run.SetSpill(store.Stats)
+		}
 		t0 = time.Now()
 		x, err := solver.SolveOriginalMulti(b, common.NRHS)
 		if err != nil {

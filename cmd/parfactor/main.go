@@ -11,12 +11,18 @@
 //	          [-slaves memory|workload] [-fast-kernels] [-bound ENTRIES]
 //	          [-nrhs K] [-seq] [-small]
 //	          [-trace FILE] [-metrics FILE] [-pprof PREFIX]
+//	          [-listen HOST:PORT] [-listen-linger D]
 //
 // Observability: -trace writes Chrome trace_event JSON of the run (task,
 // front-phase and solve spans per worker plus exact memory counter
 // tracks; load in chrome://tracing or Perfetto), -metrics writes the
 // aggregated counters snapshot (Prometheus text format, or JSON with a
-// .json path), and -pprof captures CPU and heap profiles.
+// .json path), and -pprof captures CPU and heap profiles. -listen serves
+// all of it live while the run executes: /metrics (Prometheus scrape
+// with progress, ETA and the resident gauge), /progress and /runs
+// (JSON), /trace.json, /timeline.csv and /debug/pprof. -listen-linger
+// keeps that server up after the run completes so scrapers can catch
+// short runs.
 //
 // -matrix selects a problem from the paper's Table-1 suite by name
 // (pattern-only analogues are given deterministic diagonally dominant

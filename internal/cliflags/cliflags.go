@@ -10,8 +10,10 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dense"
@@ -40,6 +42,14 @@ type Common struct {
 	Trace   string // Chrome trace_event JSON path
 	Metrics string // counters snapshot path (.json = JSON, else Prometheus text)
 	Pprof   string // runtime profile path prefix (<prefix>.cpu.pprof, <prefix>.heap.pprof)
+
+	// Listen, when non-empty, serves the live observability plane
+	// (internal/obs: /metrics, /progress, /runs, pprof, trace dumps) on
+	// this host:port while the run executes. ListenLinger keeps the
+	// server up that long after the run finishes, so short runs can still
+	// be scraped (CI does exactly this).
+	Listen       string
+	ListenLinger time.Duration
 }
 
 // Solver is the solve surface the CLIs drive after a factorization:
@@ -77,6 +87,8 @@ func (c *Common) Register(fs *flag.FlagSet, defaultWorkers int) {
 	fs.StringVar(&c.Trace, "trace", "", "write Chrome trace_event JSON of the run to this file (chrome://tracing / Perfetto)")
 	fs.StringVar(&c.Metrics, "metrics", "", "write the aggregated counters snapshot to this file (.json = JSON, otherwise Prometheus text format)")
 	fs.StringVar(&c.Pprof, "pprof", "", "capture runtime profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
+	fs.StringVar(&c.Listen, "listen", "", "serve live observability HTTP (/metrics, /progress, /runs, /debug/pprof) on this host:port during the run")
+	fs.DurationVar(&c.ListenLinger, "listen-linger", 0, "keep the -listen server up this long after the run completes (lets scrapers catch short runs)")
 }
 
 // Validate checks the numeric ranges of the common flags.
@@ -110,6 +122,17 @@ func (c *Common) Validate() error {
 	}
 	if err := c.validateOutputs(); err != nil {
 		return err
+	}
+	if c.Listen != "" {
+		if _, _, err := net.SplitHostPort(c.Listen); err != nil {
+			return fmt.Errorf("-listen %q is not host:port: %v", c.Listen, err)
+		}
+	}
+	if c.ListenLinger < 0 {
+		return fmt.Errorf("-listen-linger must be >= 0 (got %v)", c.ListenLinger)
+	}
+	if c.ListenLinger > 0 && c.Listen == "" {
+		return fmt.Errorf("-listen-linger needs -listen")
 	}
 	return nil
 }

@@ -4,45 +4,76 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
 // Obs is the observability lifecycle of one CLI run: it owns the tracer
-// the executors record into and the profile/trace/metrics files the run
-// ends by writing. Build one with Common.Observability after flag
-// parsing, attach Obs.Tracer to the core/executor config, and call
-// Finish with the run's stats before exiting.
+// the executors record into, the live HTTP plane -listen asks for, and
+// the profile/trace/metrics files the run ends by writing. Build one
+// with Common.Observability after flag parsing, attach Obs.Tracer to
+// the core/executor config, and call Finish with the run's stats before
+// exiting.
 type Obs struct {
-	// Tracer records the run; nil when neither -trace nor -metrics was
-	// given (the executors then skip all event work).
+	// Tracer records the run; nil when none of -trace, -metrics or
+	// -listen was given (the executors then skip all event work).
 	Tracer *trace.Tracer
+	// Server is the live observability plane (-listen); nil otherwise.
+	// Its registry is open: a CLI that runs several factorizations may
+	// register more runs next to Run.
+	Server *obs.Server
+	// Run is this process's registered run on Server (same nil-ness).
+	Run *obs.Run
 
 	trace   string
 	metrics string
 	pprof   string
+	linger  time.Duration
 	cpuFile *os.File
 }
 
 // Observability starts the observability the flags ask for: a CPU
-// profile when -pprof is set, and a tracer when -trace or -metrics is.
-// The zero Obs (all flags empty) is valid and Finish on it is a no-op.
+// profile when -pprof is set, a tracer when -trace, -metrics or -listen
+// is, and the live HTTP server when -listen is. The zero Obs (all flags
+// empty) is valid and Finish on it is a no-op.
 func (c *Common) Observability() (*Obs, error) {
-	o := &Obs{trace: c.Trace, metrics: c.Metrics, pprof: c.Pprof}
-	if c.Trace != "" || c.Metrics != "" {
+	o := &Obs{trace: c.Trace, metrics: c.Metrics, pprof: c.Pprof, linger: c.ListenLinger}
+	if c.Trace != "" || c.Metrics != "" || c.Listen != "" {
 		o.Tracer = trace.New(c.Workers)
+	}
+	if c.Listen != "" {
+		srv, err := obs.NewServer(c.Listen, nil)
+		if err != nil {
+			return nil, err
+		}
+		name := c.Matrix
+		if name == "" {
+			name = filepath.Base(c.MM)
+		}
+		run, err := srv.Registry().Register(name, o.Tracer)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		o.Server, o.Run = srv, run
+		fmt.Fprintf(os.Stderr, "observability: live on %s (metrics, progress, runs, pprof)\n", srv.URL())
 	}
 	if c.Pprof != "" {
 		f, err := os.Create(c.Pprof + ".cpu.pprof")
 		if err != nil {
+			o.closeServer()
 			return nil, fmt.Errorf("create CPU profile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			f.Close()
+			o.closeServer()
 			return nil, fmt.Errorf("start CPU profile: %w", err)
 		}
 		o.cpuFile = f
@@ -50,16 +81,29 @@ func (c *Common) Observability() (*Obs, error) {
 	return o, nil
 }
 
-// Finish stops the CPU profile, writes the heap profile, and renders the
-// trace and metrics outputs. stats is the run's executor stats (zero is
-// fine when the run failed before producing any). Finish reports the
-// first error but always attempts every output.
+// Finish completes the registered run with the executor's authoritative
+// stats, keeps the live server up for the -listen-linger window, shuts
+// it down, then stops the CPU profile, writes the heap profile, and
+// renders the trace and metrics outputs. stats is the run's executor
+// stats (zero is fine when the run failed before producing any). Finish
+// reports the first error but always attempts every output.
 func (o *Obs) Finish(stats memory.ExecStats) error {
 	var first error
 	keep := func(err error) {
 		if err != nil && first == nil {
 			first = err
 		}
+	}
+	if o.Run != nil && o.Run.Status() == obs.StatusRunning {
+		o.Run.Complete(stats)
+	}
+	if o.Server != nil {
+		if o.linger > 0 {
+			fmt.Fprintf(os.Stderr, "observability: run done, serving %s for another %v\n", o.Server.URL(), o.linger)
+			time.Sleep(o.linger)
+		}
+		keep(o.Server.Close())
+		o.Server = nil
 	}
 	if o.cpuFile != nil {
 		pprof.StopCPUProfile()
@@ -81,6 +125,14 @@ func (o *Obs) Finish(stats memory.ExecStats) error {
 		}
 	}
 	return first
+}
+
+// closeServer tears the live plane down on a failed startup path.
+func (o *Obs) closeServer() {
+	if o.Server != nil {
+		o.Server.Close()
+		o.Server, o.Run = nil, nil
+	}
 }
 
 func (o *Obs) writeHeapProfile(path string) error {

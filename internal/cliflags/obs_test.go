@@ -1,11 +1,14 @@
 package cliflags
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/memory"
+	"repro/internal/obs"
 )
 
 // TestObservabilityFlagsAccepted pins the observability flags onto the
@@ -107,4 +110,79 @@ func TestObservabilityLifecycle(t *testing.T) {
 			t.Errorf("output %s is empty", f)
 		}
 	}
+}
+
+// TestListenValidation pins the -listen / -listen-linger rejection
+// cases next to the path validation above.
+func TestListenValidation(t *testing.T) {
+	bad := [][]string{
+		{"-listen", "no-port"},
+		{"-listen", "127.0.0.1:0:0"},
+		{"-listen-linger", "5s"},                            // linger without listen
+		{"-listen", "127.0.0.1:0", "-listen-linger", "-1s"}, // negative linger
+	}
+	for _, args := range bad {
+		if _, err := parse(t, append([]string{"-matrix", "PRE2"}, args...)...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	if _, err := parse(t, "-matrix", "PRE2", "-listen", "127.0.0.1:0", "-listen-linger", "2s"); err != nil {
+		t.Errorf("valid -listen rejected: %v", err)
+	}
+	if _, err := parse(t, "-matrix", "PRE2", "-listen", ":9090"); err != nil {
+		t.Errorf("-listen :port rejected: %v", err)
+	}
+}
+
+// TestListenLifecycle starts the live plane via the flag path, checks
+// the server answers while the run is "executing", and that Finish
+// completes the registered run and shuts the server down.
+func TestListenLifecycle(t *testing.T) {
+	c, err := parse(t, "-matrix", "PRE2", "-workers", "2", "-listen", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := c.Observability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tracer == nil {
+		t.Fatal("-listen alone must create a tracer")
+	}
+	if o.Server == nil || o.Run == nil {
+		t.Fatal("-listen did not start the live plane")
+	}
+	if o.Run.Name() != "PRE2" {
+		t.Fatalf("run name = %q, want PRE2", o.Run.Name())
+	}
+	url := o.Server.URL()
+	if code := httpStatus(t, url+"/healthz"); code != 200 {
+		t.Fatalf("/healthz = %d", code)
+	}
+	if code := httpStatus(t, url+"/metrics"); code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if got := o.Run.Status(); got != obs.StatusRunning {
+		t.Fatalf("run status = %s, want running", got)
+	}
+	if err := o.Finish(memory.ExecStats{Fronts: 3}); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if got := o.Run.Status(); got != obs.StatusDone {
+		t.Fatalf("run status after Finish = %s, want done", got)
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("server still answering after Finish")
+	}
+}
+
+func httpStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
 }

@@ -77,7 +77,11 @@ type Config struct {
 	// Tracer, when non-nil, records task/front/store/solve spans and
 	// memory timelines from every numeric factorization run through this
 	// analysis (see internal/trace: Chrome trace_event export, memory
-	// CSV/sparklines, Prometheus-style snapshots). nil = zero overhead.
+	// CSV/sparklines, Prometheus-style snapshots). The executors also arm
+	// its progress ledger (fronts/flops done against the analysis-time
+	// totals), so a trace.Collector — or an internal/obs server holding
+	// one — can serve live mid-run snapshots with progress, ETA and the
+	// exact resident gauge. nil = zero overhead.
 	Tracer *trace.Tracer
 }
 

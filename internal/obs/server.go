@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"repro/internal/ooc"
+	"repro/internal/trace"
+)
+
+// Server is the in-flight observability HTTP plane. It binds its own
+// listener and mux (never http.DefaultServeMux, so embedding cannot
+// collide with a host application) and serves:
+//
+//	/             plain-text endpoint index
+//	/healthz      liveness probe ("ok")
+//	/metrics      Prometheus text format: registry gauges + one run's
+//	              snapshot (?run=ID selects; default latest registered)
+//	/progress     JSON progress/ETA for every registered run
+//	/runs         JSON registry index
+//	/trace.json   Chrome trace_event dump of a run's tracer (?run=ID)
+//	/timeline.csv per-worker memory timeline CSV of a run (?run=ID)
+//	/debug/pprof/ the standard runtime profiles
+//
+// Close shuts it down gracefully.
+type Server struct {
+	reg      *Registry
+	ln       net.Listener
+	srv      *http.Server
+	serveErr chan error
+}
+
+// NewServer binds addr (host:port; port 0 picks a free one) and starts
+// serving. A nil reg gets a fresh empty registry.
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, ln: ln, serveErr: make(chan error, 1)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/trace.json", s.handleTrace)
+	mux.HandleFunc("/timeline.csv", s.handleTimeline)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() { s.serveErr <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (resolves the actual port for ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns "http://<addr>".
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Registry returns the server's run registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close stops accepting connections, drains in-flight requests for up
+// to three seconds, then returns. Safe to call once.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if serveErr := <-s.serveErr; serveErr != nil && serveErr != http.ErrServerClosed && err == nil {
+		err = serveErr
+	}
+	return err
+}
+
+// pickRun resolves the ?run=ID selector, defaulting to the latest
+// registered run. Writes the 404 itself when the ID is unknown or the
+// registry is empty, returning nil.
+func (s *Server) pickRun(w http.ResponseWriter, req *http.Request) *Run {
+	if id := req.URL.Query().Get("run"); id != "" {
+		if r := s.reg.Get(id); r != nil {
+			return r
+		}
+		http.Error(w, "unknown run "+id, http.StatusNotFound)
+		return nil
+	}
+	if r := s.reg.Latest(); r != nil {
+		return r
+	}
+	http.Error(w, "no runs registered", http.StatusNotFound)
+	return nil
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
+	b.WriteString("multifrontal observability plane\n\n")
+	b.WriteString("  /metrics       Prometheus scrape (?run=ID; default latest)\n")
+	b.WriteString("  /progress      JSON progress/ETA for all runs\n")
+	b.WriteString("  /runs          JSON run registry\n")
+	b.WriteString("  /trace.json    Chrome trace_event dump (?run=ID)\n")
+	b.WriteString("  /timeline.csv  per-worker memory timeline (?run=ID)\n")
+	b.WriteString("  /debug/pprof/  runtime profiles\n")
+	b.WriteString("  /healthz       liveness\n\nruns:\n")
+	for _, r := range s.reg.List() {
+		fmt.Fprintf(&b, "  %-8s %-12s %-8s %s\n", r.ID(), r.Name(), r.Status(), r.Elapsed().Round(time.Millisecond))
+	}
+	fmt.Fprint(w, b.String())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves the Prometheus text exposition body: two
+// registry-level gauges, then the selected run's snapshot. One run per
+// scrape keeps every series unique without run labels on the ~20
+// mf_* families; a dashboard watching N concurrent runs scrapes
+// /metrics?run=ID once per run.
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	active, total := s.reg.Counts()
+	var body strings.Builder
+	fmt.Fprintf(&body, "# HELP mf_runs_active Factorizations currently registered.\n# TYPE mf_runs_active gauge\nmf_runs_active %d\n", active)
+	fmt.Fprintf(&body, "# HELP mf_runs_registered_total Runs registered over the server's lifetime.\n# TYPE mf_runs_registered_total counter\nmf_runs_registered_total %d\n", total)
+	// No runs is still a valid scrape (the registry gauges alone); an
+	// explicit unknown ?run=ID is a 404.
+	if id := req.URL.Query().Get("run"); id != "" {
+		r := s.reg.Get(id)
+		if r == nil {
+			http.Error(w, "unknown run "+id, http.StatusNotFound)
+			return
+		}
+		r.Snapshot().WritePrometheus(&body)
+	} else if r := s.reg.Latest(); r != nil {
+		r.Snapshot().WritePrometheus(&body)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, body.String())
+}
+
+// runProgress is one run's row in the /progress response.
+type runProgress struct {
+	ID             string                  `json:"id"`
+	Name           string                  `json:"name"`
+	Status         Status                  `json:"status"`
+	StartedAt      time.Time               `json:"started_at"`
+	ElapsedSeconds float64                 `json:"elapsed_seconds"`
+	Error          string                  `json:"error,omitempty"`
+	Progress       *trace.ProgressSnapshot `json:"progress,omitempty"`
+	Spill          *ooc.Stats              `json:"spill,omitempty"`
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	runs := s.reg.List()
+	out := struct {
+		Runs []runProgress `json:"runs"`
+	}{Runs: make([]runProgress, 0, len(runs))}
+	for _, r := range runs {
+		rp := runProgress{
+			ID:             r.ID(),
+			Name:           r.Name(),
+			Status:         r.Status(),
+			StartedAt:      r.started,
+			ElapsedSeconds: r.Elapsed().Seconds(),
+		}
+		r.mu.Lock()
+		rp.Error = r.errMsg
+		r.mu.Unlock()
+		if pr := r.Progress(); pr.Active() {
+			rp.Progress = &pr
+		}
+		if sp, ok := r.spillStats(); ok {
+			rp.Spill = &sp
+		}
+		out.Runs = append(out.Runs, rp)
+	}
+	writeJSON(w, out)
+}
+
+// runInfo is one run's row in the /runs response.
+type runInfo struct {
+	ID             string    `json:"id"`
+	Name           string    `json:"name"`
+	Status         Status    `json:"status"`
+	StartedAt      time.Time `json:"started_at"`
+	ElapsedSeconds float64   `json:"elapsed_seconds"`
+	Traced         bool      `json:"traced"`
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	runs := s.reg.List()
+	active, total := s.reg.Counts()
+	out := struct {
+		Active int       `json:"active"`
+		Total  int64     `json:"total"`
+		Runs   []runInfo `json:"runs"`
+	}{Active: active, Total: total, Runs: make([]runInfo, 0, len(runs))}
+	for _, r := range runs {
+		out.Runs = append(out.Runs, runInfo{
+			ID:             r.ID(),
+			Name:           r.Name(),
+			Status:         r.Status(),
+			StartedAt:      r.started,
+			ElapsedSeconds: r.Elapsed().Seconds(),
+			Traced:         r.Tracer() != nil,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, req *http.Request) {
+	r := s.pickRun(w, req)
+	if r == nil {
+		return
+	}
+	if r.Tracer() == nil {
+		http.Error(w, r.ID()+" is untraced", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+r.ID()+`.trace.json"`)
+	r.Tracer().WriteChromeTrace(w)
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, req *http.Request) {
+	r := s.pickRun(w, req)
+	if r == nil {
+		return
+	}
+	if r.Tracer() == nil {
+		http.Error(w, r.ID()+" is untraced", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	r.Tracer().WriteMemoryCSV(w)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

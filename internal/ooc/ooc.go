@@ -64,6 +64,10 @@ type Stats struct {
 	PutWaits     int64 // Put calls that blocked on the buffer budget
 	DirectReads  int64 // solve-phase Fetches served outside the prefetch stream
 	BlocksRead   int64 // spill-file block reads (prefetch stream + direct Fetches)
+	// QueuedEntries is the write-buffer occupation at the moment Stats was
+	// called — a live gauge (the other fields are cumulative counters), so
+	// a mid-run observability scrape can watch the spill backlog.
+	QueuedEntries int64
 }
 
 // ErrClosed is returned by operations on a closed store.
@@ -151,7 +155,9 @@ func (s *FileStore) Path() string { return s.path }
 func (s *FileStore) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.QueuedEntries = s.queued
+	return st
 }
 
 // SetMeter installs the shared resident meter. Blocks are charged on Put

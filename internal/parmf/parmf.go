@@ -420,6 +420,9 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 		cfg.Tracer.EnsureWorkers(cfg.Workers)
 		meter.Observe(cfg.Tracer.MeterObserver())
 		tracker.Observe(cfg.Tracer.TrackerObserver())
+		// Arm the progress ledger with the analysis-time denominators so a
+		// live /metrics or /progress scrape reports completion and an ETA.
+		cfg.Tracer.SetTotals(int64(tree.Len()), assembly.TotalFlops(tree))
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -841,6 +844,9 @@ func (w worker) processNode(ni int, r *taskResult) error {
 		r.maxFront = nf
 	}
 	r.factorEntries += facE
+	// Progress uses per-node elimination flops directly (pl.flops holds
+	// subtree sums for subtree roots, which would double-count).
+	w.tr.FrontDone(assembly.EliminationFlops(nd, tree.Kind))
 	return nil
 }
 

@@ -123,9 +123,12 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 	if tr != nil {
 		// The whole walk runs on one goroutine: all spans land on worker
 		// track 0. The meter observer makes the trace's "resident" counter
-		// the exact gauge history (its max == Stats.ResidentPeak).
+		// the exact gauge history (its max == Stats.ResidentPeak). The
+		// progress ledger gets the analysis-time denominators so a live
+		// scrape can report completion and an ETA.
 		tr.EnsureWorkers(1)
 		meter.Observe(tr.MeterObserver())
+		tr.SetTotals(int64(tree.Len()), assembly.TotalFlops(tree))
 	}
 	asm := front.NewAssembler(sh)
 	arena := front.NewArena() // fronts and CBs recycle through here
@@ -209,6 +212,7 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 			bump(stack)
 		}
 		arena.Free(fr)
+		tr.FrontDone(assembly.EliminationFlops(nd, tree.Kind))
 	}
 	f.Stats.FinalStack = stack
 	if err := f.store.Flush(); err != nil {

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/memory"
+)
+
+// Collector maintains the running per-phase / per-worker aggregates of a
+// tracer incrementally, so a Snapshot no longer requires a finished run:
+// each scrape folds only the events recorded since the previous one
+// (per-track cursors, O(new events) per call), tolerates spans still
+// open mid-run (an open span contributes to PhaseStat.Open, never to
+// Seconds or Count, until its End arrives — possibly in a later scrape),
+// and is safe against worker goroutines appending concurrently (events
+// are copied out under the track locks, folding happens under the
+// collector's own lock, so concurrent scrapers serialize).
+//
+// One Collector serves one Tracer for the tracer's whole life; the
+// observability server keeps one per registered run and answers every
+// /metrics scrape from it.
+type Collector struct {
+	t *Tracer
+
+	mu      sync.Mutex
+	cursors []int        // per track: next event index to fold
+	open    [][]openSpan // per track: spans begun but not yet ended
+	phases  map[string]*PhaseStat
+	workers []WorkerStat
+	events  int64
+	t0, t1  int64 // first/last folded timestamp (t0 < 0: nothing yet)
+	buf     []Event
+}
+
+type openSpan struct {
+	name string
+	t    int64
+}
+
+// NewCollector returns a collector over t (nil t is valid: every scrape
+// returns an empty snapshot).
+func NewCollector(t *Tracer) *Collector {
+	return &Collector{t: t, phases: map[string]*PhaseStat{}, t0: -1}
+}
+
+// foldLocked drains the tracks' new events into the running aggregates.
+func (c *Collector) foldLocked() {
+	n := c.t.trackCount()
+	for len(c.cursors) < n {
+		c.cursors = append(c.cursors, 0)
+		c.open = append(c.open, nil)
+	}
+	for len(c.workers) < n-trackWorker {
+		c.workers = append(c.workers, WorkerStat{Worker: len(c.workers)})
+	}
+	for i := 0; i < n; i++ {
+		c.buf = c.t.copyFrom(i, c.cursors[i], c.buf[:0])
+		c.cursors[i] += len(c.buf)
+		w := WorkerIndex(i)
+		for _, e := range c.buf {
+			c.foldEvent(i, w, e)
+		}
+	}
+}
+
+func (c *Collector) foldEvent(track, w int, e Event) {
+	c.events++
+	if c.t0 < 0 || e.T < c.t0 {
+		c.t0 = e.T
+	}
+	if e.T > c.t1 {
+		c.t1 = e.T
+	}
+	get := func() *PhaseStat {
+		p := c.phases[e.Name]
+		if p == nil {
+			p = &PhaseStat{Phase: e.Name}
+			c.phases[e.Name] = p
+		}
+		return p
+	}
+	switch e.Kind {
+	case KindBegin:
+		c.open[track] = append(c.open[track], openSpan{e.Name, e.T})
+	case KindEnd:
+		// Tolerate an unbalanced stream (aborted run, foreign writer): an
+		// E without its B is counted but contributes no duration.
+		p := get()
+		p.Count++
+		p.Bytes += e.V1
+		stack := c.open[track]
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].name == e.Name {
+				p.Seconds += float64(e.T-stack[i].t) / 1e9
+				c.open[track] = append(stack[:i], stack[i+1:]...)
+				break
+			}
+		}
+		if w >= 0 {
+			c.workers[w].Spans++
+		}
+	case KindInstant:
+		p := get()
+		p.Count++
+		p.Bytes += e.V1
+	case KindCounter:
+		if w >= 0 {
+			if e.V1 > c.workers[w].PeakStack {
+				c.workers[w].PeakStack = e.V1
+			}
+			if e.V2 > c.workers[w].PeakActive {
+				c.workers[w].PeakActive = e.V2
+			}
+		}
+	}
+}
+
+// snapshotLocked assembles a Snapshot from the folded state. endNs < 0
+// clips the wall time at the last recorded event (post-mortem); a
+// nonnegative endNs extends it to that clock reading (live scrape).
+func (c *Collector) snapshotLocked(stats memory.ExecStats, pr ProgressSnapshot, endNs int64) Snapshot {
+	s := Snapshot{Stats: stats, Events: c.events, Workers: len(c.workers)}
+	s.Phases = make([]PhaseStat, 0, len(c.phases))
+	for _, p := range c.phases {
+		s.Phases = append(s.Phases, *p)
+	}
+	// Spans open right now surface as PhaseStat.Open — visible in a live
+	// scrape, zero again once their End events are folded. A phase whose
+	// only span is still open gets an entry of its own.
+	idx := map[string]int{}
+	for i := range s.Phases {
+		idx[s.Phases[i].Phase] = i
+	}
+	for _, stack := range c.open {
+		for _, o := range stack {
+			i, ok := idx[o.name]
+			if !ok {
+				i = len(s.Phases)
+				s.Phases = append(s.Phases, PhaseStat{Phase: o.name})
+				idx[o.name] = i
+			}
+			s.Phases[i].Open++
+		}
+	}
+	sort.Slice(s.Phases, func(i, j int) bool { return s.Phases[i].Phase < s.Phases[j].Phase })
+	s.PerWorker = append([]WorkerStat(nil), c.workers...)
+	if c.t0 >= 0 {
+		end := c.t1
+		if endNs > end {
+			end = endNs
+		}
+		if end > c.t0 {
+			s.WallSeconds = float64(end-c.t0) / 1e9
+		}
+	}
+	if pr.Active() {
+		s.Progress = &pr
+	}
+	return s
+}
+
+// Scrape folds the new events and returns the live snapshot: wall time
+// extends to "now" (the tracer clock), and the ExecStats slots that are
+// only known at completion are synthesized from the trace so far —
+// ResidentPeak is the exact maximum the resident meter has reached yet
+// (the observers sample every mutation), Fronts counts completed fronts,
+// FactorEntries is derived from the factor-put byte payloads, and
+// PeakStack is the max per-worker active peak so far.
+func (c *Collector) Scrape() Snapshot {
+	if c.t == nil {
+		return Snapshot{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.foldLocked()
+	endNs := c.t.clock()
+	pr := c.t.Progress()
+	stats := memory.ExecStats{
+		ResidentPeak: pr.ResidentPeakEntries,
+		Fronts:       int(pr.FrontsDone),
+	}
+	if p := c.phases[EvPut]; p != nil {
+		stats.FactorEntries = p.Bytes / 8
+	}
+	for _, ws := range c.workers {
+		if ws.PeakActive > stats.PeakStack {
+			stats.PeakStack = ws.PeakActive
+		}
+	}
+	return c.snapshotLocked(stats, pr, endNs)
+}
+
+// Final folds any remaining events and returns the completed-run
+// snapshot with the executor's authoritative stats: wall time stops at
+// the last recorded event, exactly like Tracer.Snapshot.
+func (c *Collector) Final(stats memory.ExecStats) Snapshot {
+	if c.t == nil {
+		return Snapshot{Stats: stats}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.foldLocked()
+	return c.snapshotLocked(stats, c.t.Progress(), -1)
+}

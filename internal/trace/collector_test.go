@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// TestSnapshotHalfOpenTrack pins the satellite-2 fix: a live scrape over
+// a track whose outer span is still open must not corrupt Seconds/Count
+// for any phase, must surface the open span, and must extend the wall
+// clock to "now" rather than stopping at the last recorded event.
+func TestSnapshotHalfOpenTrack(t *testing.T) {
+	tr := New(1)
+	tr.clock = fakeClock() // +1000 ns per reading
+
+	tr.Begin(0, SpanTask, 7)   // t=1000, never ended
+	tr.Begin(0, SpanFactor, 7) // t=2000
+	tr.End(0, SpanFactor, 7)   // t=3000
+
+	c := NewCollector(tr)
+	s := c.Scrape() // folds 3 events, then reads clock: end=4000
+
+	var task, factor *PhaseStat
+	for i := range s.Phases {
+		switch s.Phases[i].Phase {
+		case SpanTask:
+			task = &s.Phases[i]
+		case SpanFactor:
+			factor = &s.Phases[i]
+		}
+	}
+	if factor == nil || factor.Count != 1 || factor.Seconds != 1000e-9 || factor.Open != 0 {
+		t.Fatalf("factor phase = %+v, want Count 1, Seconds 1e-6, Open 0", factor)
+	}
+	if task == nil || task.Count != 0 || task.Seconds != 0 || task.Open != 1 {
+		t.Fatalf("task phase = %+v, want Count 0, Seconds 0, Open 1 (still running)", task)
+	}
+	if want := 3000e-9; s.WallSeconds != want {
+		t.Fatalf("live WallSeconds = %g, want %g (first event to scrape time)", s.WallSeconds, want)
+	}
+
+	// Closing the span in a later scrape window credits the full duration
+	// from the original Begin, and Open drops back to zero. (The scrape
+	// above consumed two clock ticks — endNs and the progress read — so
+	// the End lands at t=6000.)
+	tr.End(0, SpanTask, 7) // t=6000
+	s = c.Scrape()
+	for _, ph := range s.Phases {
+		if ph.Phase == SpanTask {
+			if ph.Count != 1 || ph.Seconds != 5000e-9 || ph.Open != 0 {
+				t.Fatalf("task after close = %+v, want Count 1, Seconds 5e-6, Open 0", ph)
+			}
+		}
+	}
+
+	// Post-mortem Snapshot clips the wall at the last event, as before.
+	fin := tr.Snapshot(memory.ExecStats{})
+	if want := 5000e-9; fin.WallSeconds != want {
+		t.Fatalf("final WallSeconds = %g, want %g", fin.WallSeconds, want)
+	}
+	if fin.Events != 4 {
+		t.Fatalf("final Events = %d, want 4", fin.Events)
+	}
+}
+
+// TestCollectorIncrementalMatchesFull: folding a run across many scrape
+// windows must land on exactly the aggregates a single post-mortem
+// Snapshot computes.
+func TestCollectorIncrementalMatchesFull(t *testing.T) {
+	tr := scenario()
+	c := NewCollector(tr)
+	c.Scrape() // partial fold mid-history is exercised by re-scraping below
+
+	stats := execStatsForTest()
+	got := c.Final(stats)
+	want := tr.Snapshot(stats)
+
+	if got.Events != want.Events || got.Workers != want.Workers || got.WallSeconds != want.WallSeconds {
+		t.Fatalf("header mismatch: got {ev %d w %d wall %g}, want {ev %d w %d wall %g}",
+			got.Events, got.Workers, got.WallSeconds, want.Events, want.Workers, want.WallSeconds)
+	}
+	if len(got.Phases) != len(want.Phases) {
+		t.Fatalf("phase count %d != %d", len(got.Phases), len(want.Phases))
+	}
+	for i := range got.Phases {
+		if got.Phases[i] != want.Phases[i] {
+			t.Fatalf("phase %d: got %+v, want %+v", i, got.Phases[i], want.Phases[i])
+		}
+	}
+	for i := range got.PerWorker {
+		if got.PerWorker[i] != want.PerWorker[i] {
+			t.Fatalf("worker %d: got %+v, want %+v", i, got.PerWorker[i], want.PerWorker[i])
+		}
+	}
+}
+
+// TestCollectorConcurrentScrape hammers Scrape while workers append —
+// meaningful under -race; also checks flops-done monotonicity across
+// scrapes, the property the CI smoke step asserts over HTTP.
+func TestCollectorConcurrentScrape(t *testing.T) {
+	tr := New(4)
+	tr.SetTotals(400, 400_000)
+	c := NewCollector(tr)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Begin(w, SpanTask, i)
+				tr.Begin(w, SpanFactor, i)
+				tr.End(w, SpanFactor, i)
+				tr.Instant(w, EvPut, i, 64)
+				tr.End(w, SpanTask, i)
+				tr.FrontDone(1000)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var lastFlops int64 = -1
+	for {
+		s := c.Scrape()
+		if s.Progress == nil {
+			t.Error("progress missing from live scrape")
+			break
+		}
+		if s.Progress.FlopsDone < lastFlops {
+			t.Errorf("flops done went backwards: %d -> %d", lastFlops, s.Progress.FlopsDone)
+		}
+		lastFlops = s.Progress.FlopsDone
+		select {
+		case <-done:
+			s = c.Scrape()
+			if got := s.Progress.FlopsDone; got != 400_000 {
+				t.Fatalf("final flops done = %d, want 400000", got)
+			}
+			if got := s.Phases; len(got) == 0 {
+				t.Fatal("no phases folded")
+			}
+			for _, ph := range s.Phases {
+				if ph.Open != 0 {
+					t.Fatalf("phase %s still open after all workers finished: %+v", ph.Phase, ph)
+				}
+				if ph.Count != 400 {
+					t.Fatalf("phase %s count = %d, want 400", ph.Phase, ph.Count)
+				}
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestScrapeSynthesizedStats pins the live-ExecStats synthesis: resident
+// peak mirrors the meter observer exactly, factor entries derive from
+// put payloads, fronts from the progress ledger.
+func TestScrapeSynthesizedStats(t *testing.T) {
+	tr := New(1)
+	tr.clock = fakeClock()
+	tr.SetTotals(3, 300)
+
+	obs := tr.MeterObserver()
+	obs(100)
+	obs(250)
+	obs(40)
+
+	tr.Instant(0, EvPut, 1, 64) // 8 entries
+	tr.FrontDone(100)
+
+	s := NewCollector(tr).Scrape()
+	if s.Stats.ResidentPeak != 250 {
+		t.Fatalf("live ResidentPeak = %d, want 250", s.Stats.ResidentPeak)
+	}
+	if s.Stats.FactorEntries != 8 {
+		t.Fatalf("live FactorEntries = %d, want 8", s.Stats.FactorEntries)
+	}
+	if s.Stats.Fronts != 1 {
+		t.Fatalf("live Fronts = %d, want 1", s.Stats.Fronts)
+	}
+	if s.Progress == nil || s.Progress.ResidentEntries != 40 || s.Progress.ResidentPeakEntries != 250 {
+		t.Fatalf("progress resident mirror = %+v, want cur 40 peak 250", s.Progress)
+	}
+}
+
+// TestProgressLedger covers arming, ratio weighting, ETA, and re-arming
+// (a tracer reused for a second factorization starts clean).
+func TestProgressLedger(t *testing.T) {
+	tr := New(1)
+	tr.clock = fakeClock()
+
+	if p := tr.Progress(); p.Active() {
+		t.Fatalf("idle tracer reports active progress: %+v", p)
+	}
+	tr.SetTotals(4, 1000)
+	tr.FrontDone(250) // 25% by flops even though 1/4 fronts = 25% too
+	tr.FrontDone(250)
+	p := tr.Progress()
+	if p.Ratio != 0.5 {
+		t.Fatalf("ratio = %g, want 0.5", p.Ratio)
+	}
+	if p.ElapsedSeconds <= 0 {
+		t.Fatalf("elapsed = %g, want > 0", p.ElapsedSeconds)
+	}
+	if want := p.ElapsedSeconds; p.ETASeconds != want {
+		t.Fatalf("eta = %g, want %g (linear at 50%%)", p.ETASeconds, want)
+	}
+
+	// Flop denominator unknown: falls back to front-weighted.
+	tr.SetTotals(10, 0)
+	tr.FrontDone(0)
+	if p := tr.Progress(); p.Ratio != 0.1 {
+		t.Fatalf("front-weighted ratio = %g, want 0.1", p.Ratio)
+	}
+
+	// Nil tracer: all no-ops.
+	var nilTr *Tracer
+	nilTr.SetTotals(1, 1)
+	nilTr.FrontDone(1)
+	if p := nilTr.Progress(); p != (ProgressSnapshot{}) {
+		t.Fatalf("nil tracer progress = %+v", p)
+	}
+}

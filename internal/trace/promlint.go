@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus checks data against the Prometheus text exposition
+// format (version 0.0.4), promlint-style: every sample belongs to a
+// metric family that declared # HELP and # TYPE first, metric names
+// match [a-zA-Z_:][a-zA-Z0-9_:]*, label names match
+// [a-zA-Z_][a-zA-Z0-9_]*, label values use only the legal escapes
+// (\\, \", \n), values parse as floats, and no series (name + label
+// set) appears twice. The conformance test pins WritePrometheus to it,
+// and the CI smoke step runs live /metrics scrapes through it.
+func LintPrometheus(data []byte) error {
+	var (
+		metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		labelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	)
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]bool{}
+	series := map[string]int{}
+	lines := strings.Split(string(data), "\n")
+	sawSample := false
+	for no, line := range lines {
+		ln := no + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 2 {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 3 || !metricName.MatchString(fields[2]) {
+					return fmt.Errorf("prom line %d: malformed HELP: %q", ln, line)
+				}
+				if helpSeen[fields[2]] {
+					return fmt.Errorf("prom line %d: duplicate HELP for %s", ln, fields[2])
+				}
+				helpSeen[fields[2]] = true
+			case "TYPE":
+				if len(fields) < 4 {
+					return fmt.Errorf("prom line %d: malformed TYPE: %q", ln, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !metricName.MatchString(name) {
+					return fmt.Errorf("prom line %d: bad metric name %q in TYPE", ln, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("prom line %d: unknown metric type %q", ln, typ)
+				}
+				if typeSeen[name] {
+					return fmt.Errorf("prom line %d: duplicate TYPE for %s", ln, name)
+				}
+				if sample, ok := series[name]; ok {
+					_ = sample
+					return fmt.Errorf("prom line %d: TYPE for %s after its samples", ln, name)
+				}
+				typeSeen[name] = true
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("prom line %d: %w", ln, err)
+		}
+		if !metricName.MatchString(name) {
+			return fmt.Errorf("prom line %d: bad metric name %q", ln, name)
+		}
+		if !helpSeen[name] {
+			return fmt.Errorf("prom line %d: sample %s without preceding # HELP", ln, name)
+		}
+		if !typeSeen[name] {
+			return fmt.Errorf("prom line %d: sample %s without preceding # TYPE", ln, name)
+		}
+		for _, l := range labels {
+			if !labelName.MatchString(l.name) {
+				return fmt.Errorf("prom line %d: bad label name %q", ln, l.name)
+			}
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("prom line %d: bad value %q: %v", ln, value, err)
+		}
+		key := seriesKey(name, labels)
+		if prev, ok := series[key]; ok {
+			return fmt.Errorf("prom line %d: duplicate series %s (first at line %d)", ln, key, prev)
+		}
+		series[key] = ln
+		sawSample = true
+	}
+	if !sawSample {
+		return fmt.Errorf("prom: no samples")
+	}
+	return nil
+}
+
+type promLabel struct{ name, value string }
+
+func seriesKey(name string, labels []promLabel) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels { // WritePrometheus emits labels in fixed order
+		b.WriteByte('{')
+		b.WriteString(l.name)
+		b.WriteByte('=')
+		b.WriteString(l.value)
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// parsePromSample splits `name{l1="v1",...} value [ts]`, validating the
+// label-value escapes as it scans.
+func parsePromSample(line string) (name string, labels []promLabel, value string, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		name = rest[:brace]
+		rest = rest[brace+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if rest == "" {
+				return "", nil, "", fmt.Errorf("unterminated label set")
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, "", fmt.Errorf("label without '=' in %q", rest)
+			}
+			l := promLabel{name: rest[:eq]}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, "", fmt.Errorf("label value for %s not quoted", l.name)
+			}
+			rest = rest[1:]
+			var sb strings.Builder
+			closed := false
+			for i := 0; i < len(rest); i++ {
+				c := rest[i]
+				if c == '\\' {
+					if i+1 >= len(rest) {
+						return "", nil, "", fmt.Errorf("dangling escape in label %s", l.name)
+					}
+					switch rest[i+1] {
+					case '\\', '"', 'n':
+					default:
+						return "", nil, "", fmt.Errorf("illegal escape \\%c in label %s", rest[i+1], l.name)
+					}
+					sb.WriteByte(c)
+					sb.WriteByte(rest[i+1])
+					i++
+					continue
+				}
+				if c == '"' {
+					l.value = sb.String()
+					rest = rest[i+1:]
+					closed = true
+					break
+				}
+				if c == '\n' {
+					return "", nil, "", fmt.Errorf("raw newline in label %s", l.name)
+				}
+				sb.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, "", fmt.Errorf("unterminated label value for %s", l.name)
+			}
+			labels = append(labels, l)
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	} else {
+		if sp < 0 {
+			return "", nil, "", fmt.Errorf("sample without value: %q", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, "", fmt.Errorf("want 'value [timestamp]' after name, got %q", rest)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, "", fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, fields[0], nil
+}
+
+// PromValue extracts the first sample value of the named series from a
+// text-format scrape (name may include a label selector, matched as a
+// literal prefix). The CI smoke test uses it to compare counters across
+// two scrapes of a live run.
+func PromValue(data []byte, name string) (float64, bool) {
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest == "" || (rest[0] != ' ' && rest[0] != '{') {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			continue
+		}
+		return v, true
+	}
+	return 0, false
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// TestWritePrometheusConformance pins WritePrometheus to the text
+// exposition format: every emitted metric family carries # HELP and
+// # TYPE, names and labels are legal, no series repeats — for a
+// completed run, a mid-run scrape with open spans, and a progress-armed
+// run (the three bodies a live /metrics endpoint serves).
+func TestWritePrometheusConformance(t *testing.T) {
+	check := func(name string, s Snapshot) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := s.WritePrometheus(&buf); err != nil {
+			t.Fatalf("%s: WritePrometheus: %v", name, err)
+		}
+		if err := LintPrometheus(buf.Bytes()); err != nil {
+			t.Errorf("%s: %v\n%s", name, err, buf.String())
+		}
+	}
+
+	tr := scenario()
+	check("completed", tr.Snapshot(execStatsForTest()))
+
+	// Mid-run: open spans, progress armed, odd label values.
+	live := New(1)
+	live.clock = fakeClock()
+	live.SetTotals(10, 1000)
+	live.FrontDone(100)
+	live.Begin(0, SpanTask, 1)
+	live.Begin(0, "weird \"phase\"\n", 2)
+	c := NewCollector(live)
+	check("live", c.Scrape())
+
+	check("empty", Snapshot{Stats: memory.ExecStats{Kernel: `tiled "fast"`}})
+}
+
+func TestLintPrometheusRejects(t *testing.T) {
+	cases := []struct{ name, body, wantErr string }{
+		{"missing help",
+			"# TYPE mf_x counter\nmf_x 1\n", "without preceding # HELP"},
+		{"missing type",
+			"# HELP mf_x h\nmf_x 1\n", "without preceding # TYPE"},
+		{"bad metric name",
+			"# HELP 9bad h\n# TYPE 9bad gauge\n9bad 1\n", "malformed HELP"},
+		{"bad sample name",
+			"# HELP mf_x h\n# TYPE mf_x gauge\nmf-x 1\n", "bad metric name"},
+		{"duplicate series",
+			"# HELP mf_x h\n# TYPE mf_x gauge\nmf_x 1\nmf_x 2\n", "duplicate series"},
+		{"duplicate labelled series",
+			"# HELP mf_x h\n# TYPE mf_x gauge\nmf_x{a=\"1\"} 1\nmf_x{a=\"1\"} 2\n", "duplicate series"},
+		{"bad escape",
+			"# HELP mf_x h\n# TYPE mf_x gauge\nmf_x{a=\"\\t\"} 1\n", "illegal escape"},
+		{"unterminated label",
+			"# HELP mf_x h\n# TYPE mf_x gauge\nmf_x{a=\"v 1\n", "unterminated"},
+		{"bad label name",
+			"# HELP mf_x h\n# TYPE mf_x gauge\nmf_x{0a=\"v\"} 1\n", "bad label name"},
+		{"bad value",
+			"# HELP mf_x h\n# TYPE mf_x gauge\nmf_x one\n", "bad value"},
+		{"bad type",
+			"# HELP mf_x h\n# TYPE mf_x enum\nmf_x 1\n", "unknown metric type"},
+		{"no samples", "# HELP mf_x h\n", "no samples"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := LintPrometheus([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("lint accepted %q", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLintPrometheusAccepts(t *testing.T) {
+	body := "# HELP mf_x sample help\n# TYPE mf_x counter\n" +
+		"mf_x{phase=\"put \\\"q\\\"\",worker=\"0\"} 4.5e2 1712000000\n" +
+		"mf_x{phase=\"b\"} 2\n" +
+		"# HELP mf_y other\n# TYPE mf_y gauge\nmf_y -0.25\n"
+	if err := LintPrometheus([]byte(body)); err != nil {
+		t.Fatalf("lint rejected valid body: %v", err)
+	}
+	if v, ok := PromValue([]byte(body), "mf_y"); !ok || v != -0.25 {
+		t.Fatalf("PromValue(mf_y) = %v, %v", v, ok)
+	}
+	if v, ok := PromValue([]byte(body), `mf_x{phase="b"}`); !ok || v != 2 {
+		t.Fatalf("PromValue(labelled) = %v, %v", v, ok)
+	}
+	if _, ok := PromValue([]byte(body), "mf_xy"); ok {
+		t.Fatal("PromValue matched a non-existent series")
+	}
+}
+
+var (
+	promFile  = flag.String("prom-file", "", "Prometheus scrape file for TestLintPromFile")
+	promFile2 = flag.String("prom-file2", "", "optional later scrape: mf_flops_done_total must be nondecreasing")
+)
+
+// TestLintPromFile validates scrape files captured outside the test
+// binary (the CI live-metrics smoke step curls a running server and
+// hands the bodies here). Skips unless -prom-file is set.
+func TestLintPromFile(t *testing.T) {
+	if *promFile == "" {
+		t.Skip("no -prom-file given")
+	}
+	data, err := os.ReadFile(*promFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus(data); err != nil {
+		t.Fatalf("%s: %v", *promFile, err)
+	}
+	t.Logf("%s: %d bytes, lint clean", *promFile, len(data))
+	if *promFile2 == "" {
+		return
+	}
+	data2, err := os.ReadFile(*promFile2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus(data2); err != nil {
+		t.Fatalf("%s: %v", *promFile2, err)
+	}
+	v1, ok1 := PromValue(data, "mf_flops_done_total")
+	v2, ok2 := PromValue(data2, "mf_flops_done_total")
+	if !ok1 || !ok2 {
+		t.Fatalf("mf_flops_done_total missing (first=%v second=%v)", ok1, ok2)
+	}
+	if v2 < v1 {
+		t.Fatalf("mf_flops_done_total went backwards: %g then %g", v1, v2)
+	}
+	t.Logf("mf_flops_done_total: %g -> %g", v1, v2)
+}

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 
 	"repro/internal/memory"
 )
@@ -19,6 +18,10 @@ type PhaseStat struct {
 	Seconds float64 `json:"seconds"`
 	// Bytes sums the byte payloads (OOC events).
 	Bytes int64 `json:"bytes,omitempty"`
+	// Open is the number of spans of this phase begun but not yet ended
+	// at snapshot time — nonzero only on a live mid-run scrape. An open
+	// span never contributes to Count or Seconds until its End arrives.
+	Open int64 `json:"open,omitempty"`
 }
 
 // WorkerStat is one worker track's summary.
@@ -41,94 +44,28 @@ type WorkerStat struct {
 type Snapshot struct {
 	Stats   memory.ExecStats `json:"stats"`
 	Workers int              `json:"workers"`
-	// WallSeconds spans the first to the last recorded event.
+	// WallSeconds spans the first recorded event to the last one — or to
+	// "now" when the snapshot came from a live Collector.Scrape.
 	WallSeconds float64      `json:"wall_seconds"`
 	Events      int64        `json:"events"`
 	Phases      []PhaseStat  `json:"phases"`
 	PerWorker   []WorkerStat `json:"per_worker"`
+	// Progress carries the completed-work ledger (fronts/flops done vs
+	// the analysis-time totals, ETA, live resident gauge) when the run's
+	// executor armed it; nil otherwise.
+	Progress *ProgressSnapshot `json:"progress,omitempty"`
 }
 
-// Snapshot aggregates the recorded events with the run's ExecStats.
+// Snapshot aggregates the recorded events with the run's ExecStats. It
+// is valid mid-run — spans still open contribute PhaseStat.Open instead
+// of corrupting Count/Seconds — but each call re-folds the whole event
+// history; a scrape endpoint should keep a Collector instead, which does
+// the same aggregation incrementally.
 func (t *Tracer) Snapshot(stats memory.ExecStats) Snapshot {
-	s := Snapshot{Stats: stats}
 	if t == nil {
-		return s
+		return Snapshot{Stats: stats}
 	}
-	phases := map[string]*PhaseStat{}
-	var t0, t1 int64 = -1, 0
-	type open struct {
-		name string
-		t    int64
-	}
-	for _, tk := range t.Tracks() {
-		w := WorkerIndex(tk.Index)
-		var ws WorkerStat
-		ws.Worker = w
-		var stack []open
-		for _, e := range tk.Events {
-			s.Events++
-			if t0 < 0 || e.T < t0 {
-				t0 = e.T
-			}
-			if e.T > t1 {
-				t1 = e.T
-			}
-			get := func() *PhaseStat {
-				p := phases[e.Name]
-				if p == nil {
-					p = &PhaseStat{Phase: e.Name}
-					phases[e.Name] = p
-				}
-				return p
-			}
-			switch e.Kind {
-			case KindBegin:
-				stack = append(stack, open{e.Name, e.T})
-			case KindEnd:
-				// Tolerate an unbalanced stream (aborted run): an E without
-				// its B is counted but contributes no duration.
-				p := get()
-				p.Count++
-				p.Bytes += e.V1
-				for i := len(stack) - 1; i >= 0; i-- {
-					if stack[i].name == e.Name {
-						p.Seconds += float64(e.T-stack[i].t) / 1e9
-						stack = append(stack[:i], stack[i+1:]...)
-						break
-					}
-				}
-				if w >= 0 {
-					ws.Spans++
-				}
-			case KindInstant:
-				p := get()
-				p.Count++
-				p.Bytes += e.V1
-			case KindCounter:
-				if w >= 0 {
-					if e.V1 > ws.PeakStack {
-						ws.PeakStack = e.V1
-					}
-					if e.V2 > ws.PeakActive {
-						ws.PeakActive = e.V2
-					}
-				}
-			}
-		}
-		if w >= 0 {
-			s.PerWorker = append(s.PerWorker, ws)
-			s.Workers++
-		}
-	}
-	if t0 >= 0 && t1 > t0 {
-		s.WallSeconds = float64(t1-t0) / 1e9
-	}
-	for _, p := range phases {
-		s.Phases = append(s.Phases, *p)
-	}
-	sort.Slice(s.Phases, func(i, j int) bool { return s.Phases[i].Phase < s.Phases[j].Phase })
-	sort.Slice(s.PerWorker, func(i, j int) bool { return s.PerWorker[i].Worker < s.PerWorker[j].Worker })
-	return s
+	return NewCollector(t).Final(stats)
 }
 
 // WritePrometheus writes the snapshot in the Prometheus text exposition
@@ -161,6 +98,24 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		head("mf_kernel_info", "Kernel family the run used (value is always 1).", "gauge")
 		p("mf_kernel_info{kernel=%q} 1\n", s.Stats.Kernel)
 	}
+	if pr := s.Progress; pr != nil {
+		head("mf_fronts_done_total", "Fronts completed so far in the current factorization.", "counter")
+		p("mf_fronts_done_total %d\n", pr.FrontsDone)
+		head("mf_fronts_planned", "Analysis-time front count (progress denominator).", "gauge")
+		p("mf_fronts_planned %d\n", pr.FrontsTotal)
+		head("mf_flops_done_total", "Elimination flops completed so far.", "counter")
+		p("mf_flops_done_total %d\n", pr.FlopsDone)
+		head("mf_flops_planned", "Analysis-time elimination flops (progress denominator).", "gauge")
+		p("mf_flops_planned %d\n", pr.FlopsTotal)
+		head("mf_progress_ratio", "Completed fraction of the factorization (flop-weighted, 0-1).", "gauge")
+		p("mf_progress_ratio %g\n", pr.Ratio)
+		head("mf_elapsed_seconds", "Wall time since the factorization was armed.", "gauge")
+		p("mf_elapsed_seconds %g\n", pr.ElapsedSeconds)
+		head("mf_eta_seconds", "Linear estimate of remaining wall time (0 = done or unknown).", "gauge")
+		p("mf_eta_seconds %g\n", pr.ETASeconds)
+		head("mf_resident_entries", "Current resident gauge (model entries).", "gauge")
+		p("mf_resident_entries %d\n", pr.ResidentEntries)
+	}
 	head("mf_workers", "Worker tracks recorded.", "gauge")
 	p("mf_workers %d\n", s.Workers)
 	head("mf_trace_events_total", "Events the tracer recorded.", "counter")
@@ -181,6 +136,18 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		for _, ph := range s.Phases {
 			if ph.Bytes != 0 {
 				p("mf_phase_bytes_total{phase=%q} %d\n", ph.Phase, ph.Bytes)
+			}
+		}
+		var anyOpen bool
+		for _, ph := range s.Phases {
+			anyOpen = anyOpen || ph.Open != 0
+		}
+		if anyOpen {
+			head("mf_phase_open", "Spans currently open per phase (mid-run scrape).", "gauge")
+			for _, ph := range s.Phases {
+				if ph.Open != 0 {
+					p("mf_phase_open{phase=%q} %d\n", ph.Phase, ph.Open)
+				}
 			}
 		}
 	}

@@ -126,6 +126,11 @@ type track struct {
 type Tracer struct {
 	clock func() int64 // ns since start; monotonic (replaceable in tests)
 
+	// prog is the lock-free progress ledger (see progress.go): completed
+	// fronts/flops against analysis-time totals, plus a mirror of the
+	// resident gauge, all readable mid-run without touching the tracks.
+	prog progress
+
 	mu     sync.RWMutex
 	tracks []*track
 }
@@ -256,6 +261,7 @@ func (t *Tracer) MeterObserver() func(cur int64) {
 		return nil
 	}
 	return func(cur int64) {
+		t.observeResident(cur)
 		t.record(TrackGlobal, Event{Kind: KindCounter, Name: CounterResident, Node: -1, V1: cur})
 	}
 }
@@ -307,6 +313,34 @@ func (t *Tracer) Tracks() []Track {
 		k.mu.Unlock()
 	}
 	return out
+}
+
+// trackCount returns the current track-table length (the live
+// aggregation's cursor table is sized against it).
+func (t *Tracer) trackCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.tracks)
+}
+
+// copyFrom appends track i's events past index from to buf and returns
+// the extended slice — the O(new events) read the live Collector scrapes
+// with, taken under the track lock so it is safe against appending
+// workers.
+func (t *Tracer) copyFrom(i, from int, buf []Event) []Event {
+	k := t.tr(i)
+	if k == nil {
+		return buf
+	}
+	k.mu.Lock()
+	if from < len(k.events) {
+		buf = append(buf, k.events[from:]...)
+	}
+	k.mu.Unlock()
+	return buf
 }
 
 // Workers returns the number of worker tracks.

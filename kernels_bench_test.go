@@ -18,9 +18,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -461,6 +463,67 @@ func tracingCases() []kernelBenchCase {
 	}
 }
 
+// ---- live scrape cost ---------------------------------------------------
+
+func liveScrapeCases() []kernelBenchCase {
+	return []kernelBenchCase{
+		// One /metrics scrape (incremental fold + Prometheus rendering)
+		// while a traced 8-worker GUPTA3 factorization runs underneath —
+		// the cost the observability server pays per scrape, measured
+		// against live event traffic, not a quiet tracer.
+		{name: "LiveScrape/gupta3/scrape/w8", fn: func(b *testing.B) {
+			an := rootFrontAnalysis()
+			tr := trace.New(8)
+			col := trace.NewCollector(tr)
+			var stop atomic.Bool
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for !stop.Load() {
+					cfg := parmf.DefaultConfig(8)
+					cfg.Tracer = tr
+					if _, err := an.FactorizeParallel(cfg); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for b.Loop() {
+				if err := col.Scrape().WritePrometheus(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			stop.Store(true)
+			<-done
+		}},
+		// The progress-ledger cost an untraced run pays with no listener
+		// attached: a front completion's worth of nil-tracer calls. Must
+		// stay at 0 allocs/op (pinned by trace.TestNilTracerZeroAllocs).
+		{name: "LiveScrape/nolistener", fn: func(b *testing.B) {
+			var tr *trace.Tracer
+			b.ReportAllocs()
+			for b.Loop() {
+				tr.SetTotals(100, 1000)
+				tr.FrontDone(10)
+				_ = tr.Progress()
+			}
+		}},
+	}
+}
+
+// BenchmarkLiveScrape measures the observability server's scrape path:
+// one incremental Collector fold plus a full Prometheus rendering while
+// a traced 8-worker GUPTA3 factorization generates events underneath,
+// and the nil-tracer progress ops an untraced, listenerless run pays.
+func BenchmarkLiveScrape(b *testing.B) {
+	for _, c := range liveScrapeCases() {
+		b.Run(c.name[len("LiveScrape/"):], c.fn)
+	}
+}
+
 // BenchmarkTracing measures the observability overhead on the GUPTA3
 // factorization at 8 workers: an untraced run (nil tracer — the baseline
 // the executors must not regress) against a fully traced one (all spans
@@ -492,6 +555,7 @@ func writeKernelBenchJSON(path string) error {
 	cases = append(cases, rootFrontCases()...)
 	cases = append(cases, solveCases()...)
 	cases = append(cases, tracingCases()...)
+	cases = append(cases, liveScrapeCases()...)
 	var recs []benchRecord
 	for _, c := range cases {
 		r := testing.Benchmark(c.fn)
