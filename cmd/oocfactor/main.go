@@ -13,6 +13,16 @@
 //	          [-slaves memory|workload] [-fast-kernels] [-nrhs K] [-small]
 //	          [-trace FILE] [-metrics FILE] [-pprof PREFIX]
 //	          [-listen HOST:PORT] [-listen-linger D]
+//	          [-timeout D] [-faults SPEC]
+//
+// Fault tolerance: -timeout bounds the whole run with a context deadline
+// (executors and the spill writer drain deterministically; nonzero
+// exit), and -faults arms a deterministic fault-injection schedule
+// (internal/faults grammar, e.g. 'spill-write:error:2:3'). Transient
+// spill-write failures are retried with exponential backoff; persistent
+// ones degrade gracefully — the affected blocks stay resident in-core
+// and the run completes with identical numerics, reporting the retry
+// and degraded-block counts.
 //
 // Observability: -trace writes Chrome trace_event JSON covering both runs
 // (the OOC run's store track shows the spill writer and solve-pass
@@ -34,6 +44,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -78,9 +90,24 @@ func main() {
 	}
 	cfg.Tracer = obs.Tracer
 	cfg.OOC = ooc.Options{Dir: *dir, BufferEntries: *budget, Prefetch: *prefetch}
+	inj, _ := common.Injector() // validated above
+	cfg.Faults = inj
+	obs.SetFaults(inj)
+	ctx, cancel := common.Context()
+	defer cancel()
+	// fatal routes run failures through the observability plane first: the
+	// registered run flips to "failed" (visible through -listen-linger) and
+	// the trace/metrics/profile outputs still get written for post-mortem.
+	fatal := func(err error) {
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("run exceeded -timeout %v: %w", common.Timeout, err)
+		}
+		obs.Abort(err, memory.ExecStats{})
+		log.Fatal(err)
+	}
 	an, err := core.Analyze(a, cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	st := an.Stats()
 	fmt.Printf("matrix:    n=%d nnz=%d %v\n", st.N, st.NNZ, a.Kind)
@@ -91,7 +118,7 @@ func main() {
 	// peak vs the stack-only peak that remains resident out-of-core.
 	sim, err := an.Simulate(parsim.MemoryBased())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	slaves, _ := common.SlavePolicy() // validated above
@@ -108,18 +135,18 @@ func main() {
 		if common.Workers == 1 {
 			var f cliflags.FactorSolver
 			if oocRun {
-				of, fs, err := an.FactorizeOOC()
+				of, fs, err := an.FactorizeOOCCtx(ctx)
 				if err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 				store = fs
 				resident = of.Stats.ResidentPeak
 				stats = of.Stats
 				f = of
 			} else {
-				sf, err := an.Factorize()
+				sf, err := an.FactorizeCtx(ctx)
 				if err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 				resident = sf.Stats.ResidentPeak
 				stats = sf.Stats
@@ -131,9 +158,9 @@ func main() {
 			pcfg := parmf.DefaultConfig(common.Workers)
 			pcfg.SlavePolicy = slaves
 			if oocRun {
-				pf, fs, err := an.FactorizeParallelOOC(pcfg)
+				pf, fs, err := an.FactorizeParallelOOCCtx(ctx, pcfg)
 				if err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 				store = fs
 				resident = pf.Stats.ResidentPeak
@@ -141,9 +168,9 @@ func main() {
 				defer pf.Close()
 				solver = pf
 			} else {
-				pf, err := an.FactorizeParallel(pcfg)
+				pf, err := an.FactorizeParallelCtx(ctx, pcfg)
 				if err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 				resident = pf.Stats.ResidentPeak
 				stats = pf.Stats.ExecStats
@@ -160,7 +187,7 @@ func main() {
 		t0 = time.Now()
 		x, err := solver.SolveOriginalMulti(b, common.NRHS)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		solveWall = time.Since(t0)
 		// Snapshot spill stats only after the solve: DirectReads counts
@@ -188,6 +215,10 @@ func main() {
 	fmt.Printf("ooc:       %.3fs factor, %.3fs solve; spilled %d blocks, %.1f MiB; buffer peak %d entries, %d put waits, %d block reads, %d direct\n",
 		oocWall.Seconds(), oocSolve.Seconds(), spill.Blocks, float64(spill.BytesWritten)/(1<<20),
 		spill.BufferPeak, spill.PutWaits, spill.BlocksRead, spill.DirectReads)
+	if oocStats.Retries > 0 || oocStats.DegradedBlocks > 0 {
+		fmt.Printf("resilience: %d spill I/O retries, %d blocks degraded to in-core (numerics unaffected)\n",
+			oocStats.Retries, oocStats.DegradedBlocks)
+	}
 
 	var maxDiff float64
 	for i := range xIn {

@@ -12,6 +12,14 @@
 //	          [-nrhs K] [-seq] [-small]
 //	          [-trace FILE] [-metrics FILE] [-pprof PREFIX]
 //	          [-listen HOST:PORT] [-listen-linger D]
+//	          [-timeout D] [-faults SPEC]
+//
+// Fault tolerance: -timeout bounds the whole run with a context deadline
+// (the worker pools drain deterministically and the tool exits nonzero
+// with an error naming how far the run got), and -faults arms a
+// deterministic fault-injection schedule (internal/faults grammar, e.g.
+// 'task:error:5') for chaos testing — injected failures surface as
+// descriptive errors, never hangs or leaked goroutines.
 //
 // Observability: -trace writes Chrome trace_event JSON of the run (task,
 // front-phase and solve spans per worker plus exact memory counter
@@ -54,6 +62,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -64,6 +74,7 @@ import (
 
 	"repro/internal/cliflags"
 	"repro/internal/core"
+	"repro/internal/memory"
 	"repro/internal/parmf"
 	"repro/internal/sparse"
 )
@@ -94,9 +105,24 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.Tracer = obs.Tracer
+	inj, _ := common.Injector() // validated above
+	cfg.Faults = inj
+	obs.SetFaults(inj)
+	ctx, cancel := common.Context()
+	defer cancel()
+	// fatal routes run failures through the observability plane first: the
+	// registered run flips to "failed" (visible through -listen-linger) and
+	// the trace/metrics/profile outputs still get written for post-mortem.
+	fatal := func(err error) {
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("run exceeded -timeout %v: %w", common.Timeout, err)
+		}
+		obs.Abort(err, memory.ExecStats{})
+		log.Fatal(err)
+	}
 	an, err := core.Analyze(a, cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	st := an.Stats()
 	fmt.Printf("matrix:    n=%d nnz=%d %v\n", st.N, st.NNZ, a.Kind)
@@ -116,9 +142,9 @@ func main() {
 	pcfg.SlavePolicy, _ = common.SlavePolicy() // validated above
 
 	t0 := time.Now()
-	pf, err := an.FactorizeParallel(pcfg)
+	pf, err := an.FactorizeParallelCtx(ctx, pcfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	parT := time.Since(t0)
 	s := pf.Stats
@@ -144,11 +170,10 @@ func main() {
 	for i := range b {
 		b[i] = rng.NormFloat64()
 	}
-	var solver cliflags.Solver = pf
 	t0 = time.Now()
-	x, err := solver.SolveOriginalMulti(b, common.NRHS)
+	x, err := pf.Solver(0).SolveOriginalMultiCtx(ctx, b, common.NRHS)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	solveT := time.Since(t0)
 	fmt.Printf("  solve            %.3fs wall for %d rhs (%.2f ms/rhs), residual %.3g\n",
@@ -157,9 +182,9 @@ func main() {
 
 	if *seq {
 		t0 = time.Now()
-		sf, err := an.Factorize()
+		sf, err := an.FactorizeCtx(ctx)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		seqT := time.Since(t0)
 		fmt.Printf("sequential: %.3fs wall, peak %d entries\n", seqT.Seconds(), sf.Stats.PeakStack)

@@ -7,6 +7,7 @@
 package cliflags
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dense"
+	"repro/internal/faults"
 	"repro/internal/order"
 	"repro/internal/parmf"
 	"repro/internal/sparse"
@@ -50,6 +52,16 @@ type Common struct {
 	// be scraped (CI does exactly this).
 	Listen       string
 	ListenLinger time.Duration
+
+	// Timeout, when positive, bounds the whole run (analysis +
+	// factorization + solve) with a context deadline: the executors drain
+	// deterministically at the next front boundary and the CLI exits
+	// nonzero with a descriptive error. 0 = no deadline.
+	Timeout time.Duration
+	// Faults is a fault-injection schedule (internal/faults.Parse
+	// grammar: "point:kind[:nth[:count]]", comma-separated) armed on the
+	// run for chaos testing. Empty = disabled.
+	Faults string
 }
 
 // Solver is the solve surface the CLIs drive after a factorization:
@@ -89,6 +101,8 @@ func (c *Common) Register(fs *flag.FlagSet, defaultWorkers int) {
 	fs.StringVar(&c.Pprof, "pprof", "", "capture runtime profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
 	fs.StringVar(&c.Listen, "listen", "", "serve live observability HTTP (/metrics, /progress, /runs, /debug/pprof) on this host:port during the run")
 	fs.DurationVar(&c.ListenLinger, "listen-linger", 0, "keep the -listen server up this long after the run completes (lets scrapers catch short runs)")
+	fs.DurationVar(&c.Timeout, "timeout", 0, "abort the run after this long (0 = no deadline); the executors drain cleanly and the tool exits nonzero")
+	fs.StringVar(&c.Faults, "faults", "", "deterministic fault-injection schedule, e.g. 'spill-write:error:2:3,task:delay' (chaos testing; see internal/faults)")
 }
 
 // Validate checks the numeric ranges of the common flags.
@@ -134,7 +148,29 @@ func (c *Common) Validate() error {
 	if c.ListenLinger > 0 && c.Listen == "" {
 		return fmt.Errorf("-listen-linger needs -listen")
 	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0 (got %v)", c.Timeout)
+	}
+	if _, err := c.Injector(); err != nil {
+		return fmt.Errorf("-faults: %v", err)
+	}
 	return nil
+}
+
+// Context returns the run context -timeout asks for: a deadline-bound
+// context when the flag is positive, plain Background otherwise. The
+// caller must invoke cancel on every path (it is never nil).
+func (c *Common) Context() (context.Context, context.CancelFunc) {
+	if c.Timeout > 0 {
+		return context.WithTimeout(context.Background(), c.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// Injector parses -faults into an armed injector (nil when the flag is
+// empty — the executors then skip all fault checks at zero cost).
+func (c *Common) Injector() (*faults.Injector, error) {
+	return faults.Parse(c.Faults)
 }
 
 // validateOutputs checks the observability paths: each must be a usable

@@ -48,6 +48,50 @@ func TestDefaultsValidate(t *testing.T) {
 	}
 }
 
+// TestTimeoutAndFaultsFlags pins the robustness flags both CLIs share:
+// negative -timeout and malformed -faults schedules are rejected at
+// validation; valid ones produce a deadline-bound context and an armed
+// injector.
+func TestTimeoutAndFaultsFlags(t *testing.T) {
+	if _, err := parse(t, "-matrix", "PRE2", "-timeout", "-1s"); err == nil {
+		t.Error("negative -timeout accepted")
+	}
+	if _, err := parse(t, "-matrix", "PRE2", "-faults", "no-such-point:error"); err == nil {
+		t.Error("unknown fault point accepted")
+	}
+	if _, err := parse(t, "-matrix", "PRE2", "-faults", "task:no-such-kind"); err == nil {
+		t.Error("unknown fault kind accepted")
+	}
+
+	c, err := parse(t, "-matrix", "PRE2", "-timeout", "30s", "-faults", "spill-write:error:2:3,task:delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := c.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Error("-timeout did not set a context deadline")
+	}
+	in, err := c.Injector()
+	if err != nil || in == nil {
+		t.Fatalf("Injector() = %v, %v; want armed injector", in, err)
+	}
+
+	// No flags: Background-equivalent context, nil injector (zero cost).
+	c, err = parse(t, "-matrix", "PRE2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel = c.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("deadline set without -timeout")
+	}
+	if in, err := c.Injector(); err != nil || in != nil {
+		t.Fatalf("Injector() without -faults = %v, %v; want nil, nil", in, err)
+	}
+}
+
 func TestValidationRejects(t *testing.T) {
 	cases := [][]string{
 		{"-matrix", "PRE2", "-workers", "0"},

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/memory"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -37,6 +38,7 @@ type Obs struct {
 	pprof   string
 	linger  time.Duration
 	cpuFile *os.File
+	faults  *faults.Injector
 }
 
 // Observability starts the observability the flags ask for: a CPU
@@ -81,6 +83,16 @@ func (c *Common) Observability() (*Obs, error) {
 	return o, nil
 }
 
+// SetFaults attaches the run's fault injector (from Common.Injector):
+// live /metrics scrapes and the final -metrics snapshot then carry the
+// mf_faults_injected_total series. nil is a no-op.
+func (o *Obs) SetFaults(in *faults.Injector) {
+	o.faults = in
+	if o.Run != nil {
+		o.Run.SetFaults(in)
+	}
+}
+
 // Finish completes the registered run with the executor's authoritative
 // stats, keeps the live server up for the -listen-linger window, shuts
 // it down, then stops the CPU profile, writes the heap profile, and
@@ -118,6 +130,13 @@ func (o *Obs) Finish(stats memory.ExecStats) error {
 	}
 	if o.metrics != "" && o.Tracer != nil {
 		snap := o.Tracer.Snapshot(stats)
+		if o.faults != nil {
+			for _, fs := range o.faults.Stats() {
+				if fs.Fired > 0 {
+					snap.Faults = append(snap.Faults, trace.FaultStat{Point: string(fs.Point), Count: fs.Fired})
+				}
+			}
+		}
 		if strings.HasSuffix(o.metrics, ".json") {
 			keep(writeTo(o.metrics, snap.WriteJSON))
 		} else {
@@ -125,6 +144,19 @@ func (o *Obs) Finish(stats memory.ExecStats) error {
 		}
 	}
 	return first
+}
+
+// Abort is Finish for a run that died: it marks the registered run
+// failed with err (so a lingering /runs scrape reports status "failed"
+// and the error text) and then runs the normal shutdown — linger
+// window, server close, profiles, trace and metrics outputs, which are
+// exactly what post-mortem debugging of the failure wants. stats may be
+// partial or zero.
+func (o *Obs) Abort(err error, stats memory.ExecStats) error {
+	if o.Run != nil && o.Run.Status() == obs.StatusRunning {
+		o.Run.Fail(err)
+	}
+	return o.Finish(stats)
 }
 
 // closeServer tears the live plane down on a failed startup path.

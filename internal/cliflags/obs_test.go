@@ -1,14 +1,17 @@
 package cliflags
 
 import (
+	"errors"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/memory"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // TestObservabilityFlagsAccepted pins the observability flags onto the
@@ -173,6 +176,49 @@ func TestListenLifecycle(t *testing.T) {
 	}
 	if _, err := http.Get(url + "/healthz"); err == nil {
 		t.Fatal("server still answering after Finish")
+	}
+}
+
+// TestAbortLifecycle pins the failure path the CLIs' fatal handlers
+// take: Abort flips the registered run to StatusFailed (not Done), the
+// server shuts down, and the metrics output — including the injected
+// fault counters — is still written for post-mortem.
+func TestAbortLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	c, err := parse(t, "-matrix", "PRE2", "-listen", "127.0.0.1:0",
+		"-metrics", filepath.Join(dir, "metrics.prom"),
+		"-faults", "task:error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := c.Observability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := c.Injector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.SetFaults(in)
+	in.Check(faults.Task, 0) // fire the scheduled fault once
+	if err := o.Abort(errors.New("injected failure"), memory.ExecStats{CancelledTasks: 4}); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	if got := o.Run.Status(); got != obs.StatusFailed {
+		t.Fatalf("run status after Abort = %s, want failed", got)
+	}
+	body, err := os.ReadFile(filepath.Join(dir, "metrics.prom"))
+	if err != nil {
+		t.Fatalf("metrics output missing after Abort: %v", err)
+	}
+	if err := trace.LintPrometheus(body); err != nil {
+		t.Fatalf("aborted-run metrics body: %v", err)
+	}
+	if v, ok := trace.PromValue(body, "mf_cancelled_tasks_total"); !ok || v != 4 {
+		t.Fatalf("mf_cancelled_tasks_total = %v, %v; want 4", v, ok)
+	}
+	if v, ok := trace.PromValue(body, `mf_faults_injected_total{point="task"}`); !ok || v != 1 {
+		t.Fatalf("mf_faults_injected_total = %v, %v; want 1", v, ok)
 	}
 }
 

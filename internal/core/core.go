@@ -14,11 +14,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/assembly"
 	"repro/internal/dense"
 	"repro/internal/etree"
+	"repro/internal/faults"
 	"repro/internal/ooc"
 	"repro/internal/order"
 	"repro/internal/parmf"
@@ -83,6 +85,13 @@ type Config struct {
 	// one — can serve live mid-run snapshots with progress, ETA and the
 	// exact resident gauge. nil = zero overhead.
 	Tracer *trace.Tracer
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// named points of every numeric factorization run through this
+	// analysis (see internal/faults): the executors' task points, the
+	// out-of-core store's spill-write/spill-read/decode points, and the
+	// solve's per-front point. nil = zero overhead; fault handling never
+	// changes the numeric result of a run that completes.
+	Faults *faults.Injector
 }
 
 // DefaultConfig returns a standard configuration.
@@ -187,11 +196,25 @@ func (an *Analysis) WithSplit(threshold int64, minPiv int) (*Analysis, error) {
 // path the parallel executor uses, bitwise identical to the element-wise
 // kernels. The matrix must carry values.
 func (an *Analysis) Factorize() (*seqmf.Factors, error) {
+	return an.FactorizeCtx(context.Background())
+}
+
+// FactorizeCtx is Factorize under a context: the postorder walk checks
+// ctx between fronts and a cancellation becomes a descriptive error
+// naming how far the walk got. A Background context costs nothing.
+func (an *Analysis) FactorizeCtx(ctx context.Context) (*seqmf.Factors, error) {
+	return seqmf.FactorizeCtx(ctx, an.Permuted, an.Tree, an.seqOptions())
+}
+
+// seqOptions resolves the sequential executor's options from the
+// analysis configuration.
+func (an *Analysis) seqOptions() seqmf.Options {
 	opt := seqmf.DefaultOptions()
 	opt.BlockRows = an.blockRows()
 	opt.FastKernels = an.Config.FastKernels
 	opt.Tracer = an.Config.Tracer
-	return seqmf.Factorize(an.Permuted, an.Tree, opt)
+	opt.Faults = an.Config.Faults
+	return opt
 }
 
 // blockRows resolves Config.BlockRows: explicit, default, or 0 for the
@@ -239,6 +262,14 @@ func (an *Analysis) FrontSplitThreshold() int {
 // the type-2 threshold factor through the within-front master/slave path
 // (Config.FrontSplit / Config.BlockRows).
 func (an *Analysis) FactorizeParallel(cfg parmf.Config) (*parmf.Factors, error) {
+	return an.FactorizeParallelCtx(context.Background(), cfg)
+}
+
+// FactorizeParallelCtx is FactorizeParallel under a context:
+// cancellation drains the worker pool deterministically at the next
+// task boundary, reporting how many tree tasks were left unfinished. A
+// Background context costs nothing.
+func (an *Analysis) FactorizeParallelCtx(ctx context.Context, cfg parmf.Config) (*parmf.Factors, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = an.Config.Procs
 	}
@@ -260,7 +291,10 @@ func (an *Analysis) FactorizeParallel(cfg parmf.Config) (*parmf.Factors, error) 
 	if cfg.Tracer == nil {
 		cfg.Tracer = an.Config.Tracer
 	}
-	return parmf.Factorize(an.Permuted, an.Tree, cfg)
+	if cfg.Faults == nil {
+		cfg.Faults = an.Config.Faults
+	}
+	return parmf.FactorizeCtx(ctx, an.Permuted, an.Tree, cfg)
 }
 
 // FactorizeAndSolve factors sequentially and solves nrhs right-hand
@@ -270,9 +304,20 @@ func (an *Analysis) FactorizeParallel(cfg parmf.Config) (*parmf.Factors, error) 
 // "factor once, solve many" service shape); they need no Close for the
 // in-memory store used here.
 func (an *Analysis) FactorizeAndSolve(b []float64, nrhs int) ([]float64, *seqmf.Factors, error) {
-	f, err := an.Factorize()
+	return an.FactorizeAndSolveCtx(context.Background(), b, nrhs)
+}
+
+// FactorizeAndSolveCtx is FactorizeAndSolve under a context. The
+// factorization walk checks ctx between fronts; the sequential solve
+// runs to completion once started (it is short next to the
+// factorization), with one ctx check between the two phases.
+func (an *Analysis) FactorizeAndSolveCtx(ctx context.Context, b []float64, nrhs int) ([]float64, *seqmf.Factors, error) {
+	f, err := an.FactorizeCtx(ctx)
 	if err != nil {
 		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("core: solve cancelled: %w", context.Cause(ctx))
 	}
 	x, err := f.SolveOriginalMulti(b, nrhs)
 	if err != nil {
@@ -286,11 +331,18 @@ func (an *Analysis) FactorizeAndSolve(b []float64, nrhs int) ([]float64, *seqmf.
 // cfg.Workers goroutines and the solve runs tree-parallel with the same
 // worker count, bitwise identical to the sequential solve.
 func (an *Analysis) FactorizeParallelAndSolve(cfg parmf.Config, b []float64, nrhs int) ([]float64, *parmf.Factors, error) {
-	f, err := an.FactorizeParallel(cfg)
+	return an.FactorizeParallelAndSolveCtx(context.Background(), cfg, b, nrhs)
+}
+
+// FactorizeParallelAndSolveCtx is FactorizeParallelAndSolve under a
+// context: both the factorization pool and the tree-parallel solve
+// pools drain at the next front boundary on cancellation.
+func (an *Analysis) FactorizeParallelAndSolveCtx(ctx context.Context, cfg parmf.Config, b []float64, nrhs int) ([]float64, *parmf.Factors, error) {
+	f, err := an.FactorizeParallelCtx(ctx, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	x, err := f.SolveOriginalMulti(b, nrhs)
+	x, err := f.Solver(cfg.Workers).SolveOriginalMultiCtx(ctx, b, nrhs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -318,6 +370,9 @@ func (an *Analysis) oocOptions() ooc.Options {
 	if opt.Tracer == nil {
 		opt.Tracer = an.Config.Tracer
 	}
+	if opt.Faults == nil {
+		opt.Faults = an.Config.Faults
+	}
 	return opt
 }
 
@@ -328,16 +383,21 @@ func (an *Analysis) oocOptions() ooc.Options {
 // streaming blocks back from disk; Close them (or the store) to delete
 // the spill file. The factors are bitwise identical to Factorize's.
 func (an *Analysis) FactorizeOOC() (*seqmf.Factors, *ooc.FileStore, error) {
+	return an.FactorizeOOCCtx(context.Background())
+}
+
+// FactorizeOOCCtx is FactorizeOOC under a context: on cancellation the
+// walk stops at the next front and the store's spill writer stops
+// promptly; the store is closed (spill file deleted) on every error
+// path. A Background context costs nothing.
+func (an *Analysis) FactorizeOOCCtx(ctx context.Context) (*seqmf.Factors, *ooc.FileStore, error) {
 	st, err := ooc.NewFileStore(an.oocOptions())
 	if err != nil {
 		return nil, nil, err
 	}
-	opt := seqmf.DefaultOptions()
+	opt := an.seqOptions()
 	opt.Store = st
-	opt.BlockRows = an.blockRows()
-	opt.FastKernels = an.Config.FastKernels
-	opt.Tracer = an.Config.Tracer
-	f, err := seqmf.Factorize(an.Permuted, an.Tree, opt)
+	f, err := seqmf.FactorizeCtx(ctx, an.Permuted, an.Tree, opt)
 	if err != nil {
 		st.Close()
 		return nil, nil, err
@@ -349,12 +409,18 @@ func (an *Analysis) FactorizeOOC() (*seqmf.Factors, *ooc.FileStore, error) {
 // spilled to disk as produced (see FactorizeOOC). cfg.Store is
 // overridden with the new file store.
 func (an *Analysis) FactorizeParallelOOC(cfg parmf.Config) (*parmf.Factors, *ooc.FileStore, error) {
+	return an.FactorizeParallelOOCCtx(context.Background(), cfg)
+}
+
+// FactorizeParallelOOCCtx is FactorizeParallelOOC under a context (see
+// FactorizeOOCCtx for the cancellation and cleanup semantics).
+func (an *Analysis) FactorizeParallelOOCCtx(ctx context.Context, cfg parmf.Config) (*parmf.Factors, *ooc.FileStore, error) {
 	st, err := ooc.NewFileStore(an.oocOptions())
 	if err != nil {
 		return nil, nil, err
 	}
 	cfg.Store = st
-	f, err := an.FactorizeParallel(cfg)
+	f, err := an.FactorizeParallelCtx(ctx, cfg)
 	if err != nil {
 		st.Close()
 		return nil, nil, err

@@ -1,6 +1,8 @@
 package front
 
 import (
+	"context"
+
 	"repro/internal/assembly"
 	"repro/internal/memory"
 	"repro/internal/sparse"
@@ -57,6 +59,44 @@ type Store interface {
 	Release(ni int)
 	// Close releases the store's resources (spill files, goroutines).
 	Close() error
+}
+
+// ContextSetter is the optional Store extension for stores with
+// background goroutines (spillers, prefetchers) that should stop
+// promptly on cancellation. The executors bind their context to the
+// store through BindStoreContext before the first Put.
+type ContextSetter interface {
+	SetContext(ctx context.Context)
+}
+
+// BindStoreContext binds ctx to st when st supports it and ctx can
+// actually be cancelled; otherwise it is a no-op, so uncancellable runs
+// pay nothing.
+func BindStoreContext(ctx context.Context, st Store) {
+	if ctx == nil || ctx.Done() == nil {
+		return
+	}
+	if cs, ok := st.(ContextSetter); ok {
+		cs.SetContext(ctx)
+	}
+}
+
+// FaultStatser is the optional Store extension for fault-tolerant
+// stores: it reports spill I/O retries and blocks degraded to in-core
+// after persistent write failures. The executors fold these into
+// memory.ExecStats after Flush via StoreFaultCounters; stores without
+// fault handling (like the in-memory Factors) simply don't implement it.
+type FaultStatser interface {
+	FaultCounters() (retries, degradedBlocks int64)
+}
+
+// StoreFaultCounters returns st's fault counters when it implements
+// FaultStatser and zeros otherwise.
+func StoreFaultCounters(st Store) (retries, degradedBlocks int64) {
+	if fs, ok := st.(FaultStatser); ok {
+		return fs.FaultCounters()
+	}
+	return 0, 0
 }
 
 // ResolveStore is the store setup shared by the executors: a nil st

@@ -106,7 +106,8 @@ func (t *Tracker) PushCB(p int, entries int64) {
 func (t *Tracker) PopCB(p int, entries int64) {
 	t.Procs[p].Stack -= entries
 	if t.Procs[p].Stack < 0 {
-		panic(fmt.Sprintf("memory: negative stack on proc %d", p))
+		panic(fmt.Sprintf("memory: negative stack on proc %d: popped %d entries, %d over what was stacked",
+			p, entries, -t.Procs[p].Stack))
 	}
 	t.Procs[p].bump(t.now())
 }
@@ -121,7 +122,8 @@ func (t *Tracker) AllocFront(p int, entries int64) {
 func (t *Tracker) FreeFront(p int, entries int64) {
 	t.Procs[p].Fronts -= entries
 	if t.Procs[p].Fronts < 0 {
-		panic(fmt.Sprintf("memory: negative front area on proc %d", p))
+		panic(fmt.Sprintf("memory: negative front area on proc %d: freed %d entries, %d over what was allocated",
+			p, entries, -t.Procs[p].Fronts))
 	}
 	t.Procs[p].bump(t.now())
 }

@@ -1,6 +1,9 @@
 package memory
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // ExecStats is the executor-independent summary of one numeric
 // factorization. The sequential executor (internal/seqmf), the
@@ -29,6 +32,16 @@ type ExecStats struct {
 	// register-blocked, bitwise-deterministic family, "fast" the
 	// reordered-accumulation tiled one).
 	Kernel string
+
+	// Fault-tolerance counters, all zero on a clean run (so stat
+	// comparisons across executors stay bitwise meaningful). Retries and
+	// DegradedBlocks come from the factor store (spill I/O retried after
+	// transient errors; blocks retained in-core after persistent write
+	// failure). CancelledTasks is how many tree tasks were still
+	// unfinished when a cancellation or first error drained the run.
+	Retries        int64
+	DegradedBlocks int64
+	CancelledTasks int64
 }
 
 // Meter is a concurrency-safe gauge of resident memory (model entries)
@@ -69,8 +82,9 @@ func (m *Meter) Add(d int64) {
 	m.mu.Lock()
 	m.cur += d
 	if m.cur < 0 {
+		cur, peak := m.cur, m.peak
 		m.mu.Unlock()
-		panic("memory: negative resident meter")
+		panic(fmt.Sprintf("memory: negative resident meter: delta %d drove gauge to %d (peak was %d)", d, cur, peak))
 	}
 	if m.cur > m.peak {
 		m.peak = m.cur

@@ -1,6 +1,8 @@
 package nodepar
 
 import (
+	"fmt"
+
 	"repro/internal/dense"
 	"repro/internal/sparse"
 )
@@ -82,7 +84,8 @@ func (j *Job) RunMaster(p Panel) error { return j.Part.Master(j.f, p, j.tol) }
 // while a previous phase still has unfinished tasks.
 func (j *Job) StartPhase(p Panel, ph Phase) int {
 	if j.pending != 0 {
-		panic("nodepar: StartPhase with unfinished tasks")
+		panic(fmt.Sprintf("nodepar: StartPhase(panel [%d,%d), phase %d) on front %d with %d of %d tasks of phase %d unfinished",
+			p.K0, p.K1, ph, j.Node, j.pending, len(j.tasks), j.phase))
 	}
 	j.k0, j.k1, j.phase = p.K0, p.K1, ph
 	j.tasks = j.Part.AppendTasks(j.tasks[:0], p, ph)
@@ -213,7 +216,8 @@ func (j *Job) Run(i int) {
 // Finish marks task i done and reports whether that completed the phase.
 func (j *Job) Finish(i int) bool {
 	if j.state[i] != taskClaimed {
-		panic("nodepar: Finish on unclaimed task")
+		panic(fmt.Sprintf("nodepar: Finish(task %d, state %d) on front %d (phase %d, %d pending): task was never claimed",
+			i, j.state[i], j.Node, j.phase, j.pending))
 	}
 	j.state[i] = taskDone
 	j.pending--

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/memory"
 	"repro/internal/ooc"
 	"repro/internal/trace"
@@ -52,6 +53,7 @@ type Run struct {
 	stats    memory.ExecStats
 	errMsg   string
 	spill    func() ooc.Stats
+	faults   *faults.Injector
 	finished time.Time
 }
 
@@ -76,6 +78,16 @@ func (r *Run) Status() Status {
 func (r *Run) SetSpill(fn func() ooc.Stats) {
 	r.mu.Lock()
 	r.spill = fn
+	r.mu.Unlock()
+}
+
+// SetFaults attaches the run's fault injector (chaos runs): every
+// Snapshot — live scrapes and the post-mortem one — carries the fired
+// counters per injection point, so /metrics exports
+// mf_faults_injected_total. nil detaches.
+func (r *Run) SetFaults(in *faults.Injector) {
+	r.mu.Lock()
+	r.faults = in
 	r.mu.Unlock()
 }
 
@@ -108,12 +120,22 @@ func (r *Run) Fail(err error) {
 // the final post-mortem snapshot once completed.
 func (r *Run) Snapshot() trace.Snapshot {
 	r.mu.Lock()
-	st, stats := r.status, r.stats
+	st, stats, in := r.status, r.stats, r.faults
 	r.mu.Unlock()
+	var s trace.Snapshot
 	if st == StatusRunning {
-		return r.col.Scrape()
+		s = r.col.Scrape()
+	} else {
+		s = r.col.Final(stats)
 	}
-	return r.col.Final(stats)
+	if in != nil {
+		for _, fs := range in.Stats() {
+			if fs.Fired > 0 {
+				s.Faults = append(s.Faults, trace.FaultStat{Point: string(fs.Point), Count: fs.Fired})
+			}
+		}
+	}
+	return s
 }
 
 // Progress reads the run's progress ledger (zero value if untraced).

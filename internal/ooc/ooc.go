@@ -24,16 +24,29 @@
 // running solve's prefetch stream mid-pass); within one solve, Fetch and
 // Release of distinct nodes may come from concurrent workers.
 //
+// Fault tolerance: spill I/O retries transient errors (including short
+// writes — WriteAt at a fixed offset is idempotent, so a retry rewrites
+// the whole block) with exponential backoff, and a block whose write
+// keeps failing is by default retained in-core under the meter budget
+// (Stats.DegradedBlocks) instead of failing the run — a dying disk slows
+// a factorization, it does not kill it. SetContext binds the store to a
+// context.Context so cancellation stops the spiller and prefetcher
+// promptly. Both paths are numerically invisible: retried and degraded
+// runs produce factors bitwise identical to clean ones.
+//
 // Records round-trip float bits exactly (see codec.go), so an
 // out-of-core factorization is bitwise identical to the in-core one.
 package ooc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/front"
 	"repro/internal/memory"
 	"repro/internal/trace"
@@ -50,6 +63,22 @@ type Options struct {
 	// Prefetch is the maximum number of blocks the solve-phase reader
 	// loads ahead of the walk (0 = 8).
 	Prefetch int
+	// RetryMax is how many times a failed spill read or write is retried
+	// before the failure counts as persistent (0 = 3, negative = none).
+	RetryMax int
+	// RetryBase is the first retry's backoff; it doubles per attempt,
+	// capped at 250ms (0 = 1ms).
+	RetryBase time.Duration
+	// NoDegrade disables the write-failure fallback. By default a block
+	// whose spill write still fails after retries is retained in-core
+	// under the meter budget (Stats.DegradedBlocks) and the run
+	// continues; with NoDegrade the first persistent write failure
+	// poisons the store instead.
+	NoDegrade bool
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// store's spill-write, spill-read and decode points (see
+	// internal/faults). nil is a zero-cost no-op.
+	Faults *faults.Injector
 	// Tracer, when non-nil, records store activity on the trace's store
 	// track: spill-write spans from the writer goroutine and queue/read
 	// instants (see internal/trace). nil disables tracing at zero cost.
@@ -64,6 +93,15 @@ type Stats struct {
 	PutWaits     int64 // Put calls that blocked on the buffer budget
 	DirectReads  int64 // solve-phase Fetches served outside the prefetch stream
 	BlocksRead   int64 // spill-file block reads (prefetch stream + direct Fetches)
+	// Retries counts spill I/O attempts repeated after a transient error
+	// or short write; nonzero Retries with zero DegradedBlocks means the
+	// backoff absorbed every fault.
+	Retries int64
+	// DegradedBlocks counts blocks retained in-core after their spill
+	// write failed persistently (degraded mode); DegradedEntries is their
+	// total size in model entries, still charged to the resident meter.
+	DegradedBlocks  int64
+	DegradedEntries int64
 	// QueuedEntries is the write-buffer occupation at the moment Stats was
 	// called — a live gauge (the other fields are cumulative counters), so
 	// a mid-run observability scrape can watch the spill backlog.
@@ -100,14 +138,16 @@ type FileStore struct {
 	cond *sync.Cond
 
 	// Factorization side.
-	queue      []putReq // blocks waiting for the writer, FIFO
-	queued     int64    // entries in queue + the block being written
-	off        int64    // next spill-file offset
-	recs       []rec    // node -> spill location
+	queue      []putReq       // blocks waiting for the writer, FIFO
+	queued     int64          // entries in queue + the block being written
+	off        int64          // next spill-file offset
+	recs       []rec          // node -> spill location
+	degraded   map[int]putReq // blocks kept in-core after persistent write failure
 	writerDone bool
 	closed     bool
 	err        error
 	stats      Stats
+	ctxStop    chan struct{} // closes the SetContext watcher
 
 	// Solve side, reset by each Prefetch.
 	solving  bool // a BeginSolve/EndSolve bracket is open
@@ -127,6 +167,15 @@ func NewFileStore(opt Options) (*FileStore, error) {
 	if opt.Prefetch <= 0 {
 		opt.Prefetch = 8
 	}
+	switch {
+	case opt.RetryMax == 0:
+		opt.RetryMax = 3
+	case opt.RetryMax < 0:
+		opt.RetryMax = 0
+	}
+	if opt.RetryBase <= 0 {
+		opt.RetryBase = time.Millisecond
+	}
 	dir := opt.Dir
 	if dir == "" {
 		dir = os.TempDir()
@@ -139,6 +188,7 @@ func NewFileStore(opt Options) (*FileStore, error) {
 		opt:      opt,
 		file:     f,
 		path:     f.Name(),
+		degraded: map[int]putReq{},
 		cache:    map[int]*front.NodeFactor{},
 		consumed: map[int]bool{},
 		handed:   map[int]int64{},
@@ -160,6 +210,16 @@ func (s *FileStore) Stats() Stats {
 	return st
 }
 
+// FaultCounters reports the store's fault-tolerance activity: spill I/O
+// retries and blocks degraded to in-core. It satisfies the optional
+// front.FaultStatser interface the executors use to fold store
+// resilience into memory.ExecStats.
+func (s *FileStore) FaultCounters() (retries, degradedBlocks int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.Retries, s.stats.DegradedBlocks
+}
+
 // SetMeter installs the shared resident meter. Blocks are charged on Put
 // (and when loaded back for the solve) and discharged once spilled (and
 // on Release). Call before the first Put.
@@ -169,8 +229,40 @@ func (s *FileStore) SetMeter(m *memory.Meter) {
 	s.mu.Unlock()
 }
 
+// SetContext binds the store's lifetime to ctx: on cancellation the
+// spiller and prefetcher stop promptly, blocked Put/Flush calls return
+// the cancellation error, and the store stays safe to Close. A context
+// that can never be cancelled is a no-op. Call before the first Put.
+func (s *FileStore) SetContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		return
+	}
+	stop := make(chan struct{})
+	s.mu.Lock()
+	if s.ctxStop != nil {
+		close(s.ctxStop)
+	}
+	s.ctxStop = stop
+	s.mu.Unlock()
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			if s.err == nil && !s.closed {
+				s.err = fmt.Errorf("ooc: store cancelled: %w", context.Cause(ctx))
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		case <-stop:
+		}
+	}()
+}
+
 // Put hands node ni's factor block to the store. It blocks while the
-// write buffer is over budget and other blocks are still draining.
+// write buffer is over budget and other blocks are still draining. The
+// first writer failure (after retries, when degradation is disabled)
+// surfaces here immediately — not just at Flush/Close — so the executor
+// stops producing blocks a dead store can never drain.
 func (s *FileStore) Put(ni int, nf front.NodeFactor, entries int64) error {
 	if ni < 0 {
 		return fmt.Errorf("ooc: negative node %d", ni)
@@ -203,7 +295,8 @@ func (s *FileStore) Put(ni int, nf front.NodeFactor, entries int64) error {
 }
 
 // writer drains the put queue to the spill file in arrival order,
-// discharging each block from the meter once written.
+// discharging each block from the meter once written (or parking it in
+// the degraded set when the write fails persistently).
 func (s *FileStore) writer() {
 	var buf []byte
 	s.mu.Lock()
@@ -230,25 +323,102 @@ func (s *FileStore) writer() {
 		s.mu.Unlock()
 
 		// Only this goroutine opens store-track spans, so they balance.
+		// The write section runs unlocked and contains panics (an injected
+		// spill-write panic or a codec bug degrades the block instead of
+		// wedging every Put waiting on writerDone).
 		s.opt.Tracer.StoreBegin(trace.SpanSpill, r.ni)
-		buf = appendBlock(buf[:0], &r.nf)
-		_, werr := s.file.WriteAt(buf, off)
+		var werr error
+		buf, werr = func() (b []byte, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					b = buf[:0]
+					err = fmt.Errorf("panic spilling node %d: %v", r.ni, p)
+				}
+			}()
+			b = appendBlock(buf[:0], &r.nf)
+			return b, s.writeAll(b, off, r.ni)
+		}()
 		s.opt.Tracer.StoreEnd(trace.SpanSpill, r.ni, int64(len(buf)))
 
 		s.mu.Lock()
-		if werr != nil && s.err == nil {
-			s.err = fmt.Errorf("ooc: spill write: %w", werr)
+		switch {
+		case werr == nil:
+			if s.err == nil {
+				s.setRec(r.ni, rec{off: off, size: int64(len(buf)), entries: r.entries, ok: true})
+				s.off = off + int64(len(buf))
+				s.stats.Blocks++
+				s.stats.BytesWritten += int64(len(buf))
+			}
+			s.queued -= r.entries
+			s.meter.Add(-r.entries)
+		case s.opt.NoDegrade || s.closed || s.err != nil:
+			if s.err == nil {
+				s.err = fmt.Errorf("ooc: spill write (node %d): %w", r.ni, werr)
+			}
+			s.queued -= r.entries
+			s.meter.Add(-r.entries)
+		default:
+			// Graceful degradation: the disk would not take this block, so
+			// it stays resident — still charged to the meter, served from
+			// memory at solve time — and the run continues.
+			s.degraded[r.ni] = r
+			s.stats.DegradedBlocks++
+			s.stats.DegradedEntries += r.entries
+			s.queued -= r.entries
+			s.opt.Tracer.StoreInstant(trace.EvOOCDegrade, r.ni, r.entries*8)
 		}
-		if s.err == nil {
-			s.setRec(r.ni, rec{off: off, size: int64(len(buf)), entries: r.entries, ok: true})
-			s.off = off + int64(len(buf))
-			s.stats.Blocks++
-			s.stats.BytesWritten += int64(len(buf))
-		}
-		s.queued -= r.entries
-		s.meter.Add(-r.entries)
 		s.cond.Broadcast()
 	}
+}
+
+// writeAll writes buf at offset off, retrying transient failures —
+// including short writes, which WriteAt's fixed offset makes safe to
+// repair by rewriting the whole block — with exponential backoff. It
+// returns the last error once retries are exhausted or the store is
+// poisoned/closed mid-retry.
+func (s *FileStore) writeAll(buf []byte, off int64, ni int) error {
+	for attempt := 0; ; attempt++ {
+		n, err := s.opt.Faults.CheckWrite(faults.SpillWrite, ni, len(buf))
+		if err == nil {
+			var wn int
+			wn, err = s.file.WriteAt(buf[:n], off)
+			if err == nil && n == len(buf) {
+				return nil
+			}
+			if err == nil {
+				err = fmt.Errorf("short write (%d of %d bytes)", wn, len(buf))
+			}
+		}
+		if attempt >= s.opt.RetryMax || !s.noteRetry() {
+			return err
+		}
+		time.Sleep(s.backoff(attempt))
+	}
+}
+
+// noteRetry counts one retry, or reports false when the store has been
+// poisoned or closed so in-flight retry loops stop early.
+func (s *FileStore) noteRetry() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.closed {
+		return false
+	}
+	s.stats.Retries++
+	return true
+}
+
+// backoff is the sleep before retry attempt+1: RetryBase doubling per
+// attempt, capped at 250ms.
+func (s *FileStore) backoff(attempt int) time.Duration {
+	d := s.opt.RetryBase
+	for i := 0; i < attempt && d < 250*time.Millisecond; i++ {
+		d *= 2
+	}
+	if d > 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	return d
 }
 
 // setRec grows the index as needed; callers hold s.mu.
@@ -267,8 +437,8 @@ func (s *FileStore) getRec(ni int) (rec, bool) {
 	return s.recs[ni], true
 }
 
-// Flush blocks until every block Put so far is on disk, then syncs the
-// spill file.
+// Flush blocks until every block Put so far is on disk (or parked in the
+// degraded set), then syncs the spill file.
 func (s *FileStore) Flush() error {
 	s.mu.Lock()
 	for s.err == nil && !s.closed && s.queued > 0 {
@@ -356,6 +526,8 @@ func blockEntries(nf *front.NodeFactor) int64 {
 // reader is the solve-phase prefetcher for one generation: it loads
 // blocks in walk order into the cache, bounded by the entry budget and
 // the lookahead cap, and stops as soon as the generation is stale.
+// Degraded blocks have no spill record, so the walk skips them — Fetch
+// serves those from memory.
 func (s *FileStore) reader(gen int, order []int) {
 	for _, ni := range order {
 		s.mu.Lock()
@@ -386,7 +558,7 @@ func (s *FileStore) reader(gen int, order []int) {
 		}
 		s.mu.Unlock()
 
-		nf, err := s.readBlock(r)
+		nf, err := s.readBlockSafe(ni, r)
 
 		s.mu.Lock()
 		s.stats.BlocksRead++
@@ -411,18 +583,50 @@ func (s *FileStore) reader(gen int, order []int) {
 	}
 }
 
-// readBlock does one positioned read + decode (no lock held).
-func (s *FileStore) readBlock(r rec) (*front.NodeFactor, error) {
-	buf := make([]byte, r.size)
-	if _, err := s.file.ReadAt(buf, r.off); err != nil {
-		return nil, fmt.Errorf("ooc: spill read: %w", err)
-	}
-	return decodeBlock(buf)
+// readBlockSafe is readBlock with panic containment for the prefetcher
+// goroutine: a decode panic becomes an error that poisons the store
+// instead of killing the process.
+func (s *FileStore) readBlockSafe(ni int, r rec) (nf *front.NodeFactor, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			nf, err = nil, fmt.Errorf("ooc: panic reading node %d: %v", ni, p)
+		}
+	}()
+	return s.readBlock(ni, r)
 }
 
-// Fetch returns node ni's factor block, from the prefetch cache when the
-// reader got there first and by direct read otherwise. It never blocks
-// on the reader.
+// readBlock does one positioned read + decode (no lock held), retrying
+// transient read errors with the same backoff as the write path. Decode
+// errors are never retried: a record that reads back but will not parse
+// is corruption, not transience.
+func (s *FileStore) readBlock(ni int, r rec) (*front.NodeFactor, error) {
+	buf := make([]byte, r.size)
+	for attempt := 0; ; attempt++ {
+		err := s.opt.Faults.Check(faults.SpillRead, ni)
+		if err == nil {
+			_, err = s.file.ReadAt(buf, r.off)
+		}
+		if err == nil {
+			break
+		}
+		if attempt >= s.opt.RetryMax || !s.noteRetry() {
+			return nil, fmt.Errorf("ooc: spill read (node %d): %w", ni, err)
+		}
+		time.Sleep(s.backoff(attempt))
+	}
+	if err := s.opt.Faults.Check(faults.Decode, ni); err != nil {
+		return nil, fmt.Errorf("ooc: decode (node %d): %w", ni, err)
+	}
+	nf, err := decodeBlock(buf)
+	if err != nil {
+		return nil, fmt.Errorf("ooc: decode (node %d): %w", ni, err)
+	}
+	return nf, nil
+}
+
+// Fetch returns node ni's factor block: from memory when the block was
+// degraded, from the prefetch cache when the reader got there first, and
+// by direct read otherwise. It never blocks on the reader.
 func (s *FileStore) Fetch(ni int) (*front.NodeFactor, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -435,6 +639,14 @@ func (s *FileStore) Fetch(ni int) (*front.NodeFactor, error) {
 		return nil, err
 	}
 	s.consumed[ni] = true
+	if d, ok := s.degraded[ni]; ok {
+		// Degraded blocks are already resident and meter-charged since
+		// their Put; Release is a no-op for them (no handed entry) and
+		// Close credits them back.
+		s.mu.Unlock()
+		nf := d.nf
+		return &nf, nil
+	}
 	if nf := s.cache[ni]; nf != nil {
 		delete(s.cache, ni)
 		s.ahead--
@@ -452,7 +664,7 @@ func (s *FileStore) Fetch(ni int) (*front.NodeFactor, error) {
 	s.stats.DirectReads++
 	s.mu.Unlock()
 
-	nf, err := s.readBlock(r)
+	nf, err := s.readBlock(ni, r)
 	if err != nil {
 		return nil, err
 	}
@@ -480,9 +692,10 @@ func (s *FileStore) Release(ni int) {
 	s.mu.Unlock()
 }
 
-// Close stops the writer and reader, discharges everything still
-// resident, closes and removes the spill file. It is safe to call after
-// an aborted factorization (pending blocks are discarded).
+// Close stops the writer, reader and context watcher, discharges
+// everything still resident (including degraded blocks), closes and
+// removes the spill file. It is safe to call after an aborted
+// factorization (pending blocks are discarded).
 func (s *FileStore) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -491,6 +704,10 @@ func (s *FileStore) Close() error {
 	}
 	s.closed = true
 	s.gen++ // cancel any reader
+	if s.ctxStop != nil {
+		close(s.ctxStop)
+		s.ctxStop = nil
+	}
 	s.cond.Broadcast()
 	for !s.writerDone {
 		s.cond.Wait()
@@ -500,6 +717,10 @@ func (s *FileStore) Close() error {
 		delete(s.handed, ni)
 		s.cached -= e
 		s.meter.Add(-e)
+	}
+	for ni, r := range s.degraded {
+		delete(s.degraded, ni)
+		s.meter.Add(-r.entries)
 	}
 	s.mu.Unlock()
 	err := s.file.Close()

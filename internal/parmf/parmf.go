@@ -37,12 +37,14 @@
 package parmf
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/assembly"
 	"repro/internal/dense"
+	"repro/internal/faults"
 	"repro/internal/front"
 	"repro/internal/memory"
 	"repro/internal/nodepar"
@@ -167,6 +169,10 @@ type Config struct {
 	// kernels compute the same bits whatever the row partition or worker
 	// count, they just differ from the element-wise reference.
 	FastKernels bool
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// executor's task point (see internal/faults). nil is a zero-cost
+	// no-op, like Tracer.
+	Faults *faults.Injector
 }
 
 // DefaultConfig returns the standard settings for the given worker count.
@@ -210,9 +216,10 @@ type Factors struct {
 	Stats Stats
 
 	store  front.Store
-	fs     *front.Factors // non-nil when store is the in-memory one
-	kern   dense.Kernel   // kernel family the factorization ran with
-	tracer *trace.Tracer  // carried into solvers; nil when untraced
+	fs     *front.Factors   // non-nil when store is the in-memory one
+	kern   dense.Kernel     // kernel family the factorization ran with
+	tracer *trace.Tracer    // carried into solvers; nil when untraced
+	faults *faults.Injector // carried into solvers; nil when unarmed
 
 	solveOnce sync.Once
 	solver    *TreeSolver
@@ -245,6 +252,7 @@ func (f *Factors) Solver(workers int) *TreeSolver {
 	}
 	ts := NewTreeSolver(f.store, f.Tree, f.Kind, workers, f.kern)
 	ts.SetTracer(f.tracer)
+	ts.SetFaults(f.faults)
 	return ts
 }
 
@@ -324,6 +332,17 @@ type plan struct {
 // Factorize factors the permuted matrix pa over its assembly tree with a
 // pool of cfg.Workers goroutines. pa must carry numerical values.
 func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error) {
+	return FactorizeCtx(context.Background(), pa, tree, cfg)
+}
+
+// FactorizeCtx is Factorize under a context. Cancellation drains the
+// pool deterministically: workers check the shared error at every
+// task-claim boundary, finish the task they are on, and exit; the
+// returned error names how many tasks were left unfinished and wraps the
+// cancellation cause. No goroutines leak — the workers, the context
+// watcher and a bound store's background goroutines all stop. A
+// Background context costs nothing (no watcher is spawned).
+func FactorizeCtx(ctx context.Context, pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error) {
 	sh, err := front.NewShared(pa, tree)
 	if err != nil {
 		return nil, err // already carries the front: context
@@ -362,12 +381,14 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 	}
 
 	f := &Factors{
-		Tree: tree,
-		Kind: pa.Kind,
-		N:    pa.N,
+		Tree:   tree,
+		Kind:   pa.Kind,
+		N:      pa.N,
+		faults: cfg.Faults,
 	}
 	var meter *memory.Meter
 	f.store, f.fs, meter = front.ResolveStore(cfg.Store, tree, pa.Kind, cfg.Meter)
+	front.BindStoreContext(ctx, f.store)
 	st := &state{
 		unfin:   make([]int, tree.Len()),
 		cbs:     make([]*dense.Matrix, tree.Len()),
@@ -424,6 +445,26 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 		// live /metrics or /progress scrape reports completion and an ETA.
 		cfg.Tracer.SetTotals(int64(tree.Len()), assembly.TotalFlops(tree))
 	}
+	if ctx.Done() != nil {
+		// The watcher is the only way a cond.Wait-blocked worker can
+		// observe cancellation: it poisons the shared error and wakes
+		// everyone. It exits with the pool (stop closes below) so a
+		// never-cancelled run leaks nothing.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				st.mu.Lock()
+				if st.err == nil {
+					st.err = fmt.Errorf("parmf: cancelled: %w", context.Cause(ctx))
+				}
+				st.cond.Broadcast()
+				st.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -437,12 +478,15 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, cfg Config) (*Factors, error
 	wg.Wait()
 
 	if st.err != nil {
-		return nil, st.err
+		st.stats.CancelledTasks = int64(st.remaining)
+		return nil, fmt.Errorf("parmf: pool drained with %d of %d tasks unfinished: %w",
+			st.remaining, st.stats.Tasks, st.err)
 	}
 	if err := f.store.Flush(); err != nil {
 		return nil, fmt.Errorf("parmf: flush factor store: %w", err)
 	}
 	f.Stats = st.stats
+	f.Stats.Retries, f.Stats.DegradedBlocks = front.StoreFaultCounters(f.store)
 	f.Stats.ResidentPeak = meter.Peak()
 	for w := 0; w < cfg.Workers; w++ {
 		f.Stats.WorkerPeaks = append(f.Stats.WorkerPeaks, tracker.ActivePeak(w))
@@ -625,15 +669,30 @@ func (w worker) runBlockLocked(job *nodepar.Job, i int) {
 
 	// No meter delta: the rows are already resident under the front the
 	// master allocated; the tracker charge is the per-worker model share.
+	// The kernel runs unlocked with panic containment: a panicking tile
+	// must still Finish, or the job's phase barrier never falls and the
+	// master hangs.
 	w.tr.Begin(w.id, trace.SpanTile, job.Node)
 	w.tracker.AllocFront(w.id, entries)
-	job.Run(i)
+	perr := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("parmf: worker %d: panic in row-block task %d of front %d: %v",
+					w.id, i, job.Node, p)
+			}
+		}()
+		job.Run(i)
+		return nil
+	}()
 	w.tracker.FreeFront(w.id, entries)
 	w.tr.End(w.id, trace.SpanTile, job.Node)
 
 	st.mu.Lock()
 	st.loads[w.id] -= flops
-	if job.Finish(i) {
+	if perr != nil && st.err == nil {
+		st.err = perr
+	}
+	if job.Finish(i) || perr != nil {
 		st.cond.Broadcast()
 	}
 }
@@ -729,9 +788,20 @@ func (w worker) selectLocked() (int, bool) {
 }
 
 // processTask runs a task without holding st.mu: a single node, or a whole
-// leaf subtree in postorder.
-func (w worker) processTask(task int) *taskResult {
-	r := &taskResult{task: task}
+// leaf subtree in postorder. Panics in the numeric work (kernels,
+// assembly, injected faults) are contained here — converted into a
+// wrapped error carrying the worker id and front index — so one bad
+// front fails the run descriptively instead of killing the process. The
+// containment covers only unlocked execution: an invariant panic fired
+// under st.mu (nodepar phase bookkeeping) cannot be recovered without
+// leaving the scheduler lock held.
+func (w worker) processTask(task int) (r *taskResult) {
+	r = &taskResult{task: task}
+	defer func() {
+		if p := recover(); p != nil {
+			r.err = fmt.Errorf("parmf: worker %d: panic in task %d: %v", w.id, task, p)
+		}
+	}()
 	nodes := []int{task}
 	span := trace.SpanTask
 	if w.pl.taskOf[task] == task {
@@ -756,6 +826,9 @@ func (w worker) processTask(task int) *taskResult {
 // the master part — the slave row blocks are charged to whoever runs
 // their tasks, as the paper's type-2 accounting does.
 func (w worker) processNode(ni int, r *taskResult) error {
+	if err := w.cfg.Faults.Check(faults.Task, ni); err != nil {
+		return fmt.Errorf("parmf: worker %d: node %d: %w", w.id, ni, err)
+	}
 	tree := w.sh.Tree
 	nd := &tree.Nodes[ni]
 	npiv := nd.NPiv()

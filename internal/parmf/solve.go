@@ -1,11 +1,13 @@
 package parmf
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/assembly"
 	"repro/internal/dense"
+	"repro/internal/faults"
 	"repro/internal/front"
 	"repro/internal/sparse"
 	"repro/internal/trace"
@@ -44,7 +46,8 @@ type TreeSolver struct {
 	kind    sparse.Type
 	kern    dense.Kernel
 	workers int
-	tr      *trace.Tracer // nil when untraced
+	tr      *trace.Tracer    // nil when untraced
+	faults  *faults.Injector // nil when unarmed
 
 	mu   sync.Mutex
 	prep bool
@@ -76,6 +79,16 @@ func NewTreeSolver(st front.Store, tree *assembly.Tree, kind sparse.Type, worker
 func (s *TreeSolver) SetTracer(tr *trace.Tracer) {
 	s.mu.Lock()
 	s.tr = tr
+	s.mu.Unlock()
+}
+
+// SetFaults arms deterministic fault injection at the solve's per-front
+// visit point (see internal/faults). nil disarms at zero cost.
+// Factors.Solver wires the factorization's injector through
+// automatically.
+func (s *TreeSolver) SetFaults(in *faults.Injector) {
+	s.mu.Lock()
+	s.faults = in
 	s.mu.Unlock()
 }
 
@@ -141,6 +154,14 @@ func (s *TreeSolver) Solve(b []float64) ([]float64, error) { return s.SolveMulti
 // the worker count (with dense.KernelDefault, also bitwise identical to
 // a single-RHS solve per column).
 func (s *TreeSolver) SolveMulti(b []float64, nrhs int) ([]float64, error) {
+	return s.SolveMultiCtx(context.Background(), b, nrhs)
+}
+
+// SolveMultiCtx is SolveMulti under a context: cancellation drains both
+// pass pools at the next front boundary and propagates to a bound
+// fault-tolerant store, so its prefetcher stops too. A Background
+// context costs nothing.
+func (s *TreeSolver) SolveMultiCtx(ctx context.Context, b []float64, nrhs int) ([]float64, error) {
 	if s.st == nil {
 		return nil, fmt.Errorf("parmf: nil factor store")
 	}
@@ -149,22 +170,26 @@ func (s *TreeSolver) SolveMulti(b []float64, nrhs int) ([]float64, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("parmf: solve cancelled: %w", context.Cause(ctx))
+	}
 	s.prepare()
 	s.tr.EnsureWorkers(s.workers)
 	if err := s.st.BeginSolve(); err != nil {
 		return nil, err
 	}
 	defer s.st.EndSolve()
+	front.BindStoreContext(ctx, s.st)
 	x := append([]float64(nil), b...)
 	s.st.Prefetch(s.post)
-	err := s.runPass(s.post, nrhs, trace.SpanSolveFwd, s.fwdIndeg, s.fwdSuccs, func(ni int, nf *front.NodeFactor, w []float64) {
+	err := s.runPass(ctx, s.post, nrhs, trace.SpanSolveFwd, s.fwdIndeg, s.fwdSuccs, func(ni int, nf *front.NodeFactor, w []float64) {
 		front.ForwardNodePanel(x, nf, s.kind, nrhs, w, s.kern)
 	})
 	if err != nil {
 		return nil, err
 	}
 	s.st.Prefetch(s.rev)
-	err = s.runPass(s.rev, nrhs, trace.SpanSolveBwd, s.bwdIndeg, s.bwdSuccs, func(ni int, nf *front.NodeFactor, w []float64) {
+	err = s.runPass(ctx, s.rev, nrhs, trace.SpanSolveBwd, s.bwdIndeg, s.bwdSuccs, func(ni int, nf *front.NodeFactor, w []float64) {
 		front.BackwardNodePanel(x, nf, s.kind, nrhs, w, s.kern)
 	})
 	if err != nil {
@@ -182,14 +207,19 @@ func (s *TreeSolver) SolveOriginal(b []float64) ([]float64, error) {
 // SolveOriginalMulti is SolveMulti for right-hand sides in the original
 // ordering, returning x in the original ordering.
 func (s *TreeSolver) SolveOriginalMulti(b []float64, nrhs int) ([]float64, error) {
+	return s.SolveOriginalMultiCtx(context.Background(), b, nrhs)
+}
+
+// SolveOriginalMultiCtx is SolveOriginalMulti under a context.
+func (s *TreeSolver) SolveOriginalMultiCtx(ctx context.Context, b []float64, nrhs int) ([]float64, error) {
 	if err := front.CheckRHS(s.tree.N, b, nrhs); err != nil {
 		return nil, err
 	}
 	perm := s.tree.Perm
 	if perm == nil {
-		return s.SolveMulti(b, nrhs)
+		return s.SolveMultiCtx(ctx, b, nrhs)
 	}
-	px, err := s.SolveMulti(front.PermuteRHS(perm, b, nrhs), nrhs)
+	px, err := s.SolveMultiCtx(ctx, front.PermuteRHS(perm, b, nrhs), nrhs)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +232,7 @@ func (s *TreeSolver) SolveOriginalMulti(b []float64, nrhs int) ([]float64, error
 // with a per-worker scratch, and finish under the lock, releasing
 // successors. The claim/finish mutex handoff is the happens-before edge
 // between a row's consecutive touchers.
-func (s *TreeSolver) runPass(order []int, nrhs int, span string, indeg []int32, succs [][]int32, apply func(ni int, nf *front.NodeFactor, w []float64)) error {
+func (s *TreeSolver) runPass(ctx context.Context, order []int, nrhs int, span string, indeg []int32, succs [][]int32, apply func(ni int, nf *front.NodeFactor, w []float64)) error {
 	deg := append([]int32(nil), indeg...)
 	ready := make([]int, 0, len(order))
 	for i := len(order) - 1; i >= 0; i-- {
@@ -217,6 +247,25 @@ func (s *TreeSolver) runPass(order []int, nrhs int, span string, indeg []int32, 
 		firstErr  error
 		wg        sync.WaitGroup
 	)
+	if ctx.Done() != nil {
+		// Same shape as the factorization pool's watcher: poison the pass
+		// error and wake cond.Wait-blocked workers so the pool drains at
+		// the next front boundary.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("parmf: solve cancelled (%s pass): %w", span, context.Cause(ctx))
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
 	scratch := s.maxF * nrhs
 	workers := s.workers
 	if workers > remaining && remaining > 0 {
@@ -240,12 +289,27 @@ func (s *TreeSolver) runPass(order []int, nrhs int, span string, indeg []int32, 
 				ready = ready[:len(ready)-1]
 				mu.Unlock()
 
+				// The panel runs unlocked with panic containment, mirroring
+				// the factorization workers: a panicking front becomes a
+				// descriptive error and the pass drains cleanly.
 				s.tr.Begin(id, span, ni)
-				nf, err := s.st.Fetch(ni)
-				if err == nil {
+				err := func() (err error) {
+					defer func() {
+						if p := recover(); p != nil {
+							err = fmt.Errorf("parmf: solve worker %d: panic at node %d (%s pass): %v", id, ni, span, p)
+						}
+					}()
+					if err := s.faults.Check(faults.Solve, ni); err != nil {
+						return fmt.Errorf("parmf: solve node %d: %w", ni, err)
+					}
+					nf, err := s.st.Fetch(ni)
+					if err != nil {
+						return err
+					}
 					apply(ni, nf, buf)
 					s.st.Release(ni)
-				}
+					return nil
+				}()
 				s.tr.End(id, span, ni)
 
 				mu.Lock()

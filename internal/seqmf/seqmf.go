@@ -22,11 +22,13 @@
 package seqmf
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/assembly"
 	"repro/internal/dense"
+	"repro/internal/faults"
 	"repro/internal/front"
 	"repro/internal/memory"
 	"repro/internal/sparse"
@@ -94,6 +96,9 @@ type Options struct {
 	// and resident-gauge counter samples from this run (see
 	// internal/trace). nil disables tracing at zero cost.
 	Tracer *trace.Tracer
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// walk's task point (see internal/faults). nil is a zero-cost no-op.
+	Faults *faults.Injector
 }
 
 // DefaultOptions returns the standard settings.
@@ -102,6 +107,14 @@ func DefaultOptions() Options { return Options{PivotTol: 1e-12} }
 // Factorize factors the permuted matrix pa whose assembly tree is tree.
 // pa must carry numerical values.
 func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, error) {
+	return FactorizeCtx(context.Background(), pa, tree, opt)
+}
+
+// FactorizeCtx is Factorize under a context: the walk checks ctx between
+// fronts and returns a descriptive cancellation error naming how far it
+// got; a bound fault-tolerant store (ooc.FileStore) stops its background
+// goroutines promptly too. A Background context costs nothing.
+func FactorizeCtx(ctx context.Context, pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, error) {
 	sh, err := front.NewShared(pa, tree)
 	if err != nil {
 		return nil, err // already carries the front: context
@@ -119,6 +132,7 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 	f.Stats.Kernel = kern.String()
 	var meter *memory.Meter
 	f.store, f.fs, meter = front.ResolveStore(opt.Store, tree, pa.Kind, opt.Meter)
+	front.BindStoreContext(ctx, f.store)
 	tr := opt.Tracer
 	if tr != nil {
 		// The whole walk runs on one goroutine: all spans land on worker
@@ -141,7 +155,18 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		}
 	}
 
-	for _, ni := range tree.Postorder() {
+	// processNode runs one front's numeric work with panic containment: a
+	// kernel or assembly panic becomes a wrapped error naming the node
+	// instead of killing the process.
+	processNode := func(ni int) (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("seqmf: panic at node %d (phase factorize): %v", ni, p)
+			}
+		}()
+		if err := opt.Faults.Check(faults.Task, ni); err != nil {
+			return fmt.Errorf("seqmf: node %d: %w", ni, err)
+		}
 		nd := &tree.Nodes[ni]
 		npiv := nd.NPiv()
 		nf := nd.NFront()
@@ -153,10 +178,10 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		bump(stack + frontEntries)
 
 		tr.Begin(0, trace.SpanAssemble, ni)
-		err := asm.Scatter(ni, fr)
+		err = asm.Scatter(ni, fr)
 		tr.End(0, trace.SpanAssemble, ni)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Extend-add children, then free their CBs.
@@ -166,7 +191,7 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 				ops, err := asm.ExtendAdd(ni, fr, c, cbs[c])
 				if err != nil {
 					tr.End(0, trace.SpanExtendAdd, ni)
-					return nil, err
+					return err
 				}
 				f.Stats.AssemblyOps += ops
 			}
@@ -186,14 +211,14 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		err = front.EliminateKernel(fr, npiv, pa.Kind, opt.PivotTol, opt.BlockRows, kern)
 		tr.End(0, trace.SpanFactor, ni)
 		if err != nil {
-			return nil, fmt.Errorf("seqmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
+			return fmt.Errorf("seqmf: node %d (front %d, npiv %d): %w", ni, nf, npiv, err)
 		}
 
 		// The factor block becomes store-owned: resident until the store
 		// lets go of it (never for in-memory, once spilled for OOC).
 		fe := assembly.FactorEntries(nd, tree.Kind)
 		if err := f.store.Put(ni, front.ExtractFactor(fr, rows, npiv, pa.Kind), fe); err != nil {
-			return nil, fmt.Errorf("seqmf: node %d: %w", ni, err)
+			return fmt.Errorf("seqmf: node %d: %w", ni, err)
 		}
 		tr.Instant(0, trace.EvPut, ni, fe*8)
 		f.Stats.FactorEntries += fe
@@ -213,11 +238,23 @@ func Factorize(pa *sparse.CSC, tree *assembly.Tree, opt Options) (*Factors, erro
 		}
 		arena.Free(fr)
 		tr.FrontDone(assembly.EliminationFlops(nd, tree.Kind))
+		return nil
+	}
+
+	for k, ni := range tree.Postorder() {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("seqmf: cancelled at node %d (%d of %d fronts done): %w",
+				ni, k, tree.Len(), context.Cause(ctx))
+		}
+		if err := processNode(ni); err != nil {
+			return nil, err
+		}
 	}
 	f.Stats.FinalStack = stack
 	if err := f.store.Flush(); err != nil {
 		return nil, fmt.Errorf("seqmf: flush factor store: %w", err)
 	}
+	f.Stats.Retries, f.Stats.DegradedBlocks = front.StoreFaultCounters(f.store)
 	f.Stats.ResidentPeak = meter.Peak()
 	return f, nil
 }

@@ -41,6 +41,48 @@ func TestWritePrometheusConformance(t *testing.T) {
 	check("live", c.Scrape())
 
 	check("empty", Snapshot{Stats: memory.ExecStats{Kernel: `tiled "fast"`}})
+
+	check("faulted", Snapshot{
+		Stats:  memory.ExecStats{Retries: 3, DegradedBlocks: 1, CancelledTasks: 2},
+		Faults: []FaultStat{{Point: "spill-write", Count: 3}, {Point: "task", Count: 1}},
+	})
+}
+
+// TestWritePrometheusFaultSeries pins the fault-tolerance series: the
+// retry/degrade/cancel counters are always exported (zero on clean runs)
+// and the per-point injection counter appears exactly for armed runs.
+func TestWritePrometheusFaultSeries(t *testing.T) {
+	var clean bytes.Buffer
+	if err := (Snapshot{}).WritePrometheus(&clean); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{"mf_retries_total", "mf_degraded_blocks", "mf_cancelled_tasks_total"} {
+		if v, ok := PromValue(clean.Bytes(), series); !ok || v != 0 {
+			t.Errorf("clean run: %s = %v, %v; want 0, true", series, v, ok)
+		}
+	}
+	if strings.Contains(clean.String(), "mf_faults_injected_total") {
+		t.Error("clean run exports mf_faults_injected_total")
+	}
+
+	var chaos bytes.Buffer
+	s := Snapshot{
+		Stats:  memory.ExecStats{Retries: 5, DegradedBlocks: 2, CancelledTasks: 7},
+		Faults: []FaultStat{{Point: "spill-write", Count: 4}},
+	}
+	if err := s.WritePrometheus(&chaos); err != nil {
+		t.Fatal(err)
+	}
+	for series, want := range map[string]float64{
+		"mf_retries_total":                              5,
+		"mf_degraded_blocks":                            2,
+		"mf_cancelled_tasks_total":                      7,
+		`mf_faults_injected_total{point="spill-write"}`: 4,
+	} {
+		if v, ok := PromValue(chaos.Bytes(), series); !ok || v != want {
+			t.Errorf("chaos run: %s = %v, %v; want %g, true", series, v, ok, want)
+		}
+	}
 }
 
 func TestLintPrometheusRejects(t *testing.T) {

@@ -36,6 +36,15 @@ type WorkerStat struct {
 	Spans int64 `json:"spans"`
 }
 
+// FaultStat is one armed fault-injection point's counter: how many
+// injections actually fired there (internal/faults supplies the data;
+// whoever holds the injector attaches it to the snapshot). Runs without
+// an injector carry none.
+type FaultStat struct {
+	Point string `json:"point"`
+	Count int64  `json:"count"`
+}
+
 // Snapshot is the aggregated counters view of one run: the
 // executor-independent memory.ExecStats plus the per-phase time/byte
 // counters and per-worker peaks derived from the trace. It is what a
@@ -54,6 +63,9 @@ type Snapshot struct {
 	// the analysis-time totals, ETA, live resident gauge) when the run's
 	// executor armed it; nil otherwise.
 	Progress *ProgressSnapshot `json:"progress,omitempty"`
+	// Faults lists the fired fault-injection points when the run was
+	// armed with an injector (chaos testing); empty otherwise.
+	Faults []FaultStat `json:"faults,omitempty"`
 }
 
 // Snapshot aggregates the recorded events with the run's ExecStats. It
@@ -115,6 +127,18 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		p("mf_eta_seconds %g\n", pr.ETASeconds)
 		head("mf_resident_entries", "Current resident gauge (model entries).", "gauge")
 		p("mf_resident_entries %d\n", pr.ResidentEntries)
+	}
+	head("mf_retries_total", "Spill I/O operations retried after transient failures.", "counter")
+	p("mf_retries_total %d\n", s.Stats.Retries)
+	head("mf_degraded_blocks", "Factor blocks retained in-core after persistent spill-write failure.", "gauge")
+	p("mf_degraded_blocks %d\n", s.Stats.DegradedBlocks)
+	head("mf_cancelled_tasks_total", "Tree tasks left unfinished when cancellation or first error drained the run.", "counter")
+	p("mf_cancelled_tasks_total %d\n", s.Stats.CancelledTasks)
+	if len(s.Faults) > 0 {
+		head("mf_faults_injected_total", "Faults fired per injection point (chaos runs only).", "counter")
+		for _, fs := range s.Faults {
+			p("mf_faults_injected_total{point=%q} %d\n", fs.Point, fs.Count)
+		}
 	}
 	head("mf_workers", "Worker tracks recorded.", "gauge")
 	p("mf_workers %d\n", s.Workers)

@@ -69,6 +69,7 @@ const (
 	EvOOCPut       = "ooc-put"       // instant: block queued for spilling
 	EvPrefetchRead = "prefetch-read" // instant: solve-pass read-ahead load
 	EvDirectRead   = "direct-read"   // instant: solve fetch that outran the reader
+	EvOOCDegrade   = "ooc-degrade"   // instant: block retained in-core after persistent write failure
 
 	// Counter names.
 	CounterResident = "resident" // global resident gauge (model entries)
