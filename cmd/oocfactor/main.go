@@ -10,7 +10,7 @@
 //	oocfactor -matrix NAME|-mm FILE [-ordering METIS|PORD|AMD|AMF|RCM]
 //	          [-workers W] [-budget ENTRIES] [-dir DIR] [-prefetch N]
 //	          [-split N] [-front-split N] [-block-rows N] [-root-grid N]
-//	          [-slaves memory|workload] [-fast-kernels] [-nrhs K] [-small]
+//	          [-slaves memory|workload] [-kernel FAMILY] [-nrhs K] [-small]
 //	          [-trace FILE] [-metrics FILE] [-pprof PREFIX]
 //	          [-listen HOST:PORT] [-listen-linger D]
 //	          [-timeout D] [-faults SPEC]

@@ -8,7 +8,7 @@
 //	parfactor -matrix NAME|-mm FILE [-ordering METIS|PORD|AMD|AMF|RCM]
 //	          [-workers W] [-policy memory|depthfirst] [-split N]
 //	          [-front-split N] [-block-rows N] [-root-grid N]
-//	          [-slaves memory|workload] [-fast-kernels] [-bound ENTRIES]
+//	          [-slaves memory|workload] [-kernel FAMILY] [-bound ENTRIES]
 //	          [-nrhs K] [-seq] [-small]
 //	          [-trace FILE] [-metrics FILE] [-pprof PREFIX]
 //	          [-listen HOST:PORT] [-listen-linger D]
@@ -49,11 +49,15 @@
 // kernel mode the factors never depend on these knobs — the partitions
 // are pure functions of the front and the register-blocked kernels are
 // bitwise identical to the element-wise ones — only wall-clock time and
-// the per-worker memory shape do. With -fast-kernels the update kernels
-// reorder accumulation for full register tiling: factors stay
-// deterministic for a fixed -block-rows (any worker count or grid shape),
-// but are validated by residual rather than bit equality. Set
-// -front-split larger than the largest front to disable splitting.
+// the per-worker memory shape do. -kernel selects the update kernel
+// family: fast reorders accumulation for full register tiling, simd runs
+// the fused-multiply-add family (AVX2/FMA assembly with a bitwise
+// identical portable fallback), and auto picks simd when the hardware
+// path is available, fast otherwise. Both non-default families keep the
+// factors deterministic for a fixed -block-rows (any worker count or
+// grid shape) but are validated by residual rather than bit equality.
+// -fast-kernels is a deprecated alias of -kernel=fast. Set -front-split
+// larger than the largest front to disable splitting.
 //
 // The solve phase runs tree-parallel over the same workers and handles
 // -nrhs right-hand sides as one blocked pass (one forward and one

@@ -36,6 +36,7 @@ type Common struct {
 	BlockRows   int
 	RootGrid    int
 	Slaves      string
+	Kernel      string
 	FastKernels bool
 	Small       bool
 	NRHS        int
@@ -93,7 +94,8 @@ func (c *Common) Register(fs *flag.FlagSet, defaultWorkers int) {
 	fs.IntVar(&c.BlockRows, "block-rows", dense.DefaultBlockRows, "panel width / tile edge of the blocked kernels and within-front partitions")
 	fs.IntVar(&c.RootGrid, "root-grid", 0, "2D (type-3) root-front worker grid rows: 0 = auto (floor(sqrt(workers))), -1 = 1D roots, N > 0 = N grid rows")
 	fs.StringVar(&c.Slaves, "slaves", "memory", "slave selection for split fronts: memory (Algorithm 1) or workload")
-	fs.BoolVar(&c.FastKernels, "fast-kernels", false, "reordered-accumulation tiled kernels (residual-validated, not bitwise vs default)")
+	fs.StringVar(&c.Kernel, "kernel", "", "dense kernel family: default|fast|simd|auto (auto picks simd when AVX2/FMA is available, fast otherwise)")
+	fs.BoolVar(&c.FastKernels, "fast-kernels", false, "deprecated alias of -kernel=fast; cannot be combined with -kernel")
 	fs.BoolVar(&c.Small, "small", false, "use the reduced (test-scale) suite")
 	fs.IntVar(&c.NRHS, "nrhs", 1, "number of right-hand sides solved as one blocked multi-RHS pass")
 	fs.StringVar(&c.Trace, "trace", "", "write Chrome trace_event JSON of the run to this file (chrome://tracing / Perfetto)")
@@ -129,6 +131,12 @@ func (c *Common) Validate() error {
 		return err
 	}
 	if _, err := c.SlavePolicy(); err != nil {
+		return err
+	}
+	if c.Kernel != "" && c.FastKernels {
+		return fmt.Errorf("-kernel and -fast-kernels are mutually exclusive (-fast-kernels is a deprecated alias of -kernel=fast)")
+	}
+	if _, err := c.KernelFamily(); err != nil {
 		return err
 	}
 	if c.Matrix == "" && c.MM == "" {
@@ -230,6 +238,25 @@ func (c *Common) Method() (order.Method, error) {
 	return 0, fmt.Errorf("unknown ordering %q", c.Ordering)
 }
 
+// KernelFamily resolves the kernel-family flags: -kernel when given
+// (default|fast|simd|auto), else the deprecated -fast-kernels boolean,
+// else the default family. The returned Kernel may be dense.KernelAuto —
+// the executors resolve it to the concrete family and report that in
+// their stats.
+func (c *Common) KernelFamily() (dense.Kernel, error) {
+	if c.Kernel != "" {
+		k, err := dense.ParseKernel(c.Kernel)
+		if err != nil {
+			return dense.KernelDefault, fmt.Errorf("-kernel: %v", err)
+		}
+		return k, nil
+	}
+	if c.FastKernels {
+		return dense.KernelFast, nil
+	}
+	return dense.KernelDefault, nil
+}
+
 // SlavePolicy parses -slaves.
 func (c *Common) SlavePolicy() (parmf.SlavePolicy, error) {
 	switch strings.ToLower(c.Slaves) {
@@ -283,11 +310,15 @@ func (c *Common) CoreConfig() (core.Config, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
+	kern, err := c.KernelFamily()
+	if err != nil {
+		return core.Config{}, err
+	}
 	cfg := core.DefaultConfig(m, c.Workers)
 	cfg.SplitThreshold = c.Split
 	cfg.FrontSplit = c.FrontSplit
 	cfg.BlockRows = c.BlockRows
 	cfg.RootGrid = c.RootGrid
-	cfg.FastKernels = c.FastKernels
+	cfg.Kernel = kern
 	return cfg, nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/dense"
 	"repro/internal/order"
 	"repro/internal/parmf"
 	"repro/internal/seqmf"
@@ -152,8 +153,56 @@ func TestLoadSuiteProblem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cfg.FastKernels || cfg.FrontSplit != 128 {
+	if cfg.Kernel != dense.KernelFast || cfg.FrontSplit != 128 {
 		t.Fatalf("core config %+v", cfg)
+	}
+}
+
+// TestKernelFlagGrammar pins the -kernel grammar, the deprecated
+// -fast-kernels alias, and their mutual exclusion.
+func TestKernelFlagGrammar(t *testing.T) {
+	accept := []struct {
+		args []string
+		want dense.Kernel
+	}{
+		{[]string{"-matrix", "PRE2"}, dense.KernelDefault},
+		{[]string{"-matrix", "PRE2", "-kernel", "default"}, dense.KernelDefault},
+		{[]string{"-matrix", "PRE2", "-kernel", "fast"}, dense.KernelFast},
+		{[]string{"-matrix", "PRE2", "-kernel", "FAST"}, dense.KernelFast},
+		{[]string{"-matrix", "PRE2", "-kernel", "simd"}, dense.KernelSIMD},
+		{[]string{"-matrix", "PRE2", "-kernel", "auto"}, dense.KernelAuto},
+		{[]string{"-matrix", "PRE2", "-fast-kernels"}, dense.KernelFast},
+	}
+	for _, c := range accept {
+		fl, err := parse(t, c.args...)
+		if err != nil {
+			t.Fatalf("args %v rejected: %v", c.args, err)
+		}
+		k, err := fl.KernelFamily()
+		if err != nil || k != c.want {
+			t.Fatalf("args %v: KernelFamily() = %v, %v; want %v", c.args, k, err, c.want)
+		}
+		cfg, err := fl.CoreConfig()
+		if err != nil || cfg.Kernel != c.want {
+			t.Fatalf("args %v: core config kernel %v, %v; want %v", c.args, cfg.Kernel, err, c.want)
+		}
+	}
+
+	reject := [][]string{
+		{"-matrix", "PRE2", "-kernel", "turbo"},
+		{"-matrix", "PRE2", "-kernel", "fastest"},
+		{"-matrix", "PRE2", "-kernel", "fast", "-fast-kernels"},
+		{"-matrix", "PRE2", "-kernel", "simd", "-fast-kernels"},
+		{"-matrix", "PRE2", "-kernel", "default", "-fast-kernels"},
+	}
+	for _, args := range reject {
+		if _, err := parse(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	if _, err := parse(t, "-matrix", "PRE2", "-kernel", "fast", "-fast-kernels"); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("conflict error not descriptive: %v", err)
 	}
 }
 

@@ -62,11 +62,15 @@ type Config struct {
 	// > 0 forces that many grid rows, negative keeps roots on the 1D
 	// (type-2) row partition. The factors never depend on it.
 	RootGrid int
-	// FastKernels routes every numeric factorization through the
-	// reordered-accumulation fast kernel family (dense.KernelFast):
-	// fully tiled updates validated by residual instead of bit equality.
-	// Factors stay deterministic for a fixed BlockRows, at any worker
-	// count, but are no longer bitwise comparable to the default mode.
+	// Kernel selects the dense kernel family of every numeric
+	// factorization (dense.KernelDefault, KernelFast, KernelSIMD, or
+	// KernelAuto, which resolves to SIMD when the vector path is
+	// available and fast otherwise). The non-default families are
+	// validated by residual instead of bit equality; factors stay
+	// deterministic for a fixed BlockRows, at any worker count.
+	Kernel dense.Kernel
+	// FastKernels is the deprecated boolean form of Kernel=KernelFast; it
+	// is honored only when Kernel is left at the default.
 	FastKernels bool
 	// MapOptions overrides the static mapping (zero value = defaults).
 	MapOptions assembly.MapOptions
@@ -211,6 +215,7 @@ func (an *Analysis) FactorizeCtx(ctx context.Context) (*seqmf.Factors, error) {
 func (an *Analysis) seqOptions() seqmf.Options {
 	opt := seqmf.DefaultOptions()
 	opt.BlockRows = an.blockRows()
+	opt.Kernel = an.Config.Kernel
 	opt.FastKernels = an.Config.FastKernels
 	opt.Tracer = an.Config.Tracer
 	opt.Faults = an.Config.Faults
@@ -284,6 +289,9 @@ func (an *Analysis) FactorizeParallelCtx(ctx context.Context, cfg parmf.Config) 
 	}
 	if cfg.RootGrid == 0 {
 		cfg.RootGrid = an.Config.RootGrid
+	}
+	if cfg.Kernel == dense.KernelDefault {
+		cfg.Kernel = an.Config.Kernel
 	}
 	if an.Config.FastKernels {
 		cfg.FastKernels = true

@@ -74,7 +74,13 @@ func LUApplyRows(f *Matrix, k0, k1, r0, r1 int) {
 	}
 	n := f.C
 	// One reciprocal per pivot, as in PartialLU (bitwise the same value).
-	invs := make([]float64, k1-k0)
+	// Stack scratch for every panel up to kernStackPanel wide, so the
+	// steady state (DefaultBlockRows panels) never allocates.
+	var ib [kernStackPanel]float64
+	invs := ib[:]
+	if kw := k1 - k0; kw > kernStackPanel {
+		invs = make([]float64, kw)
+	}
 	for k := k0; k < k1; k++ {
 		invs[k-k0] = 1 / f.At(k, k)
 	}
@@ -135,6 +141,12 @@ func CholeskyScaleRows(f *Matrix, k0, k1, r0, r1 int) {
 		return
 	}
 	kw := k1 - k0
+	if kw <= scaleStackPanel {
+		// Identical bits with the hoisted pattern in stack arrays — the
+		// steady state (DefaultBlockRows panels) never allocates.
+		choleskyScaleRowsRB(f, k0, k1, r0, r1)
+		return
+	}
 	invs := make([]float64, kw)
 	type lent struct {
 		m int32

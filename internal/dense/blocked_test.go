@@ -204,3 +204,29 @@ func TestBlockedErrors(t *testing.T) {
 		t.Error("negative npiv accepted")
 	}
 }
+
+// TestBlockedKernelsZeroAlloc pins the legacy blocked kernels' stack
+// discipline: at the default panel width, the package-level row kernels —
+// what the 1D executor and the blocked drivers call per row block — run
+// without a single heap allocation.
+func TestBlockedKernelsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n, npiv := 192, DefaultBlockRows
+	lu := randomDiagDominant(n, rng)
+	if err := PanelLU(lu, 0, npiv, 1e-14); err != nil {
+		t.Fatal(err)
+	}
+	ch := randomSPD(n, rng)
+	if err := PanelCholesky(ch, 0, npiv); err != nil {
+		t.Fatal(err)
+	}
+	CholeskyScaleRows(ch, 0, npiv, npiv, n)
+	allocs := testing.AllocsPerRun(10, func() {
+		LUApplyRows(lu, 0, npiv, npiv, n)
+		CholeskyScaleRows(ch, 0, npiv, npiv, n)
+		CholeskyUpdateRows(ch, 0, npiv, npiv, n)
+	})
+	if allocs != 0 {
+		t.Fatalf("blocked kernels allocate %v per run, want 0", allocs)
+	}
+}

@@ -32,35 +32,53 @@ func AppendRuns(dst []IndexRun, map_ []int) []IndexRun {
 	return dst
 }
 
-// addSpan computes dst[j] += src[j] over the whole span, 4x-unrolled.
-func addSpan(dst, src []float64) {
-	n := len(src)
-	dst = dst[:n:n]
-	src = src[:n:n]
-	j := 0
-	for ; j+3 < n; j += 4 {
-		dst[j] += src[j]
-		dst[j+1] += src[j+1]
-		dst[j+2] += src[j+2]
-		dst[j+3] += src[j+3]
+// shortRun is the run length below which the scatter inlines plain scalar
+// adds instead of calling the span primitive: on fragmented maps the
+// per-run call/dispatch overhead, not the adds, dominates, and a run this
+// short never fills a vector register anyway. Plain adds either way, so
+// the threshold cannot change a single bit.
+const shortRun = 8
+
+// addRun adds the clipped run src[j0:j0+l) into dst[c0:c0+l), dispatching
+// short runs to inline scalar adds and long ones to the vector-unit span
+// add (addSpanFast — bitwise identical plain adds on every path).
+func addRun(dst, src []float64, c0, j0, l int) {
+	if l <= shortRun {
+		d := dst[c0 : c0+l : c0+l]
+		s := src[j0 : j0+l : j0+l]
+		for t := range d {
+			d[t] += s[t]
+		}
+		return
 	}
-	for ; j < n; j++ {
-		dst[j] += src[j]
-	}
+	addSpanFast(dst[c0:c0+l], src[j0:j0+l])
 }
 
 // ExtendAddRuns scatters cb into f like ExtendAdd, using precomputed runs
 // (AppendRuns over map_). The runs only describe the column structure; the
-// row scatter stays indexed because distinct front rows are strided.
+// row scatter stays indexed because distinct front rows are strided. Rows
+// are processed four at a time so each run decode is amortized over four
+// row additions — on fragmented maps (many short runs) this closes most of
+// the gap to the contiguous single-run case. Each destination element
+// still receives exactly one addition: bitwise identical to the
+// element-wise scatter.
 func ExtendAddRuns(f *Matrix, cb *Matrix, map_ []int, runs []IndexRun) {
 	if cb.R != len(map_) || cb.C != len(map_) {
 		panic("dense: ExtendAdd index map length mismatch")
 	}
-	for i := 0; i < cb.R; i++ {
+	i := 0
+	for ; i+3 < cb.R; i += 4 {
+		f0, c0r := f.Row(map_[i]), cb.Row(i)
+		f1, c1r := f.Row(map_[i+1]), cb.Row(i+1)
+		f2, c2r := f.Row(map_[i+2]), cb.Row(i+2)
+		f3, c3r := f.Row(map_[i+3]), cb.Row(i+3)
+		scatterRuns4(f0, f1, f2, f3, c0r, c1r, c2r, c3r, runs)
+	}
+	for ; i < cb.R; i++ {
 		fRow := f.Row(map_[i])
 		cbRow := cb.Row(i)
 		for _, r := range runs {
-			addSpan(fRow[r.C0:int(r.C0)+int(r.Len)], cbRow[r.J0:int(r.J0)+int(r.Len)])
+			addRun(fRow, cbRow, int(r.C0), int(r.J0), int(r.Len))
 		}
 	}
 }
@@ -68,12 +86,45 @@ func ExtendAddRuns(f *Matrix, cb *Matrix, map_ []int, runs []IndexRun) {
 // ExtendAddLowerRuns scatters the lower triangle of cb into the lower
 // triangle of f (symmetric fronts, increasing map_), using precomputed
 // runs. Row i only receives source columns [0, i]; the run that straddles
-// the diagonal is clipped.
+// the diagonal is clipped. Runs entirely below the diagonal of a four-row
+// group are applied to all four rows per decode; the straddling tail runs
+// finish row by row.
 func ExtendAddLowerRuns(f *Matrix, cb *Matrix, map_ []int, runs []IndexRun) {
 	if cb.R != len(map_) || cb.C != len(map_) {
 		panic("dense: ExtendAddLower index map length mismatch")
 	}
-	for i := 0; i < cb.R; i++ {
+	i := 0
+	for ; i+3 < cb.R; i += 4 {
+		f0, c0r := f.Row(map_[i]), cb.Row(i)
+		f1, c1r := f.Row(map_[i+1]), cb.Row(i+1)
+		f2, c2r := f.Row(map_[i+2]), cb.Row(i+2)
+		f3, c3r := f.Row(map_[i+3]), cb.Row(i+3)
+		ri := 0
+		for ; ri < len(runs); ri++ {
+			r := runs[ri]
+			if int(r.J0)+int(r.Len) > i+1 {
+				break // straddles or exceeds the first row's diagonal
+			}
+		}
+		scatterRuns4(f0, f1, f2, f3, c0r, c1r, c2r, c3r, runs[:ri])
+		for t := 0; t < 4; t++ {
+			row := i + t
+			fRow := f.Row(map_[row])
+			cbRow := cb.Row(row)
+			for _, r := range runs[ri:] {
+				j0 := int(r.J0)
+				if j0 > row {
+					break
+				}
+				l := int(r.Len)
+				if j0+l > row+1 {
+					l = row + 1 - j0
+				}
+				addRun(fRow, cbRow, int(r.C0), j0, l)
+			}
+		}
+	}
+	for ; i < cb.R; i++ {
 		fRow := f.Row(map_[i])
 		cbRow := cb.Row(i)
 		for _, r := range runs {
@@ -85,7 +136,7 @@ func ExtendAddLowerRuns(f *Matrix, cb *Matrix, map_ []int, runs []IndexRun) {
 			if j0+l > i+1 {
 				l = i + 1 - j0
 			}
-			addSpan(fRow[r.C0:int(r.C0)+l], cbRow[j0:j0+l])
+			addRun(fRow, cbRow, int(r.C0), j0, l)
 		}
 	}
 }

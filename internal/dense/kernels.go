@@ -1,6 +1,6 @@
 // Kernel dispatch for the update micro-kernels — the rank-k panel updates
-// that dominate factorization time. Two implementation families sit behind
-// one selector:
+// that dominate factorization time. Three implementation families sit
+// behind one selector (plus an auto policy):
 //
 //   - KernelDefault: register-blocked micro-kernels that perform the *same
 //     floating-point operations in the same per-element order* as the
@@ -24,6 +24,16 @@
 //     the row-block partition and of which worker runs which block, so a
 //     parallel fast factorization reproduces the sequential fast one.
 //
+//   - KernelSIMD: fused multiply-add kernels over the span/dot primitives
+//     of simd_prims.go — AVX2/FMA assembly on capable amd64 hardware, a
+//     bitwise-identical math.FMA fallback everywhere else (see simd.go).
+//     Same determinism contract as KernelFast: residual-validated,
+//     reproducible across row partitions, tile grids and worker counts
+//     for a fixed panel width.
+//
+//   - KernelAuto is a policy, not a family: Resolve() picks KernelSIMD
+//     when the vector path is available and KernelFast otherwise.
+//
 // The per-element operation-order discipline of KernelDefault deliberately
 // keeps each update in the `x -= l * v` shape of the reference kernels
 // (one multiply, one subtract, each rounded separately) so a compiler that
@@ -40,6 +50,13 @@ const (
 	// KernelFast reorders accumulation for full register tiling; validated
 	// by residual tolerance, deterministic for a fixed panel width.
 	KernelFast
+	// KernelSIMD runs the fused-multiply-add family (AVX2/FMA assembly or
+	// its bitwise-identical math.FMA fallback); same validation and
+	// determinism contract as KernelFast.
+	KernelSIMD
+	// KernelAuto resolves to KernelSIMD when the vector path is available
+	// and to KernelFast otherwise; see Kernel.Resolve.
+	KernelAuto
 )
 
 func (k Kernel) String() string {
@@ -48,6 +65,10 @@ func (k Kernel) String() string {
 		return "default"
 	case KernelFast:
 		return "fast"
+	case KernelSIMD:
+		return "simd"
+	case KernelAuto:
+		return "auto"
 	}
 	return "unknown"
 }
@@ -66,15 +87,18 @@ func (kern Kernel) LUApplyRows(f *Matrix, k0, k1, r0, r1 int) {
 	if r1 <= r0 || k1 <= k0 {
 		return
 	}
-	if kern == KernelFast {
+	switch kern.Resolve() {
+	case KernelFast:
 		luApplyRowsFast(f, k0, k1, r0, r1)
-		return
+	case KernelSIMD:
+		luApplyRowsSIMD(f, k0, k1, r0, r1)
+	default:
+		luApplyRowsRB(f, k0, k1, r0, r1)
 	}
-	luApplyRowsRB(f, k0, k1, r0, r1)
 }
 
 // CholeskyScaleRows computes the scaled panel columns of rows [r0,r1).
-// Both families share one implementation (the hoisted-pattern loop is
+// All families share one implementation (the hoisted-pattern loop is
 // already branch-free in its inner loop and bitwise identical to the
 // reference): panels up to scaleStackPanel wide run the allocation-free
 // stack-scratch variant, wider ones the heap-scratch original.
@@ -96,11 +120,14 @@ func (kern Kernel) CholeskyUpdateRows(f *Matrix, k0, k1, r0, r1 int) {
 	if r1 <= r0 || k1 <= k0 {
 		return
 	}
-	if kern == KernelFast {
+	switch kern.Resolve() {
+	case KernelFast:
 		choleskyUpdateRowsFast(f, k0, k1, r0, r1)
-		return
+	case KernelSIMD:
+		choleskyUpdateRowsSIMD(f, k0, k1, r0, r1)
+	default:
+		choleskyUpdateRowsRB(f, k0, k1, r0, r1)
 	}
-	choleskyUpdateRowsRB(f, k0, k1, r0, r1)
 }
 
 // PartialLU is the sequential blocked partial LU through this kernel
@@ -111,6 +138,7 @@ func (kern Kernel) PartialLU(f *Matrix, npiv int, tol float64, block int) error 
 	if err := checkPartial(f, npiv); err != nil {
 		return err
 	}
+	kern = kern.Resolve()
 	if block <= 0 {
 		block = DefaultBlockRows
 	}
@@ -136,6 +164,7 @@ func (kern Kernel) PartialCholesky(f *Matrix, npiv int, block int) error {
 	if err := checkPartial(f, npiv); err != nil {
 		return err
 	}
+	kern = kern.Resolve()
 	if block <= 0 {
 		block = DefaultBlockRows
 	}

@@ -30,8 +30,12 @@ package dense
 // SolveForwardLU applies the unit-lower forward substitution of one
 // front: W[k+1:] -= L[k+1:, k] * W[k] for each pivot k in order.
 func (kern Kernel) SolveForwardLU(L *Matrix, npiv int, W *Matrix) {
-	if kern == KernelFast {
+	switch kern.Resolve() {
+	case KernelFast:
 		solveForwardLUFast(L, npiv, W)
+		return
+	case KernelSIMD:
+		solveForwardLUSIMD(L, npiv, W)
 		return
 	}
 	n, m := W.R, W.C
@@ -56,8 +60,12 @@ func (kern Kernel) SolveForwardLU(L *Matrix, npiv int, W *Matrix) {
 // SolveForwardCholesky applies the lower forward substitution with the
 // stored diagonal: W[k] /= L[k,k], then the trailing update.
 func (kern Kernel) SolveForwardCholesky(L *Matrix, npiv int, W *Matrix) {
-	if kern == KernelFast {
+	switch kern.Resolve() {
+	case KernelFast:
 		solveForwardCholeskyFast(L, npiv, W)
+		return
+	case KernelSIMD:
+		solveForwardCholeskySIMD(L, npiv, W)
 		return
 	}
 	n, m := W.R, W.C
@@ -88,8 +96,12 @@ func (kern Kernel) SolveForwardCholesky(L *Matrix, npiv int, W *Matrix) {
 // W[k] /= U[k,k]. U is the npiv x f upper trapezoid; rows npiv..f-1 of
 // W are inputs only.
 func (kern Kernel) SolveBackwardLU(U *Matrix, npiv int, W *Matrix) {
-	if kern == KernelFast {
+	switch kern.Resolve() {
+	case KernelFast:
 		solveBackwardLUFast(U, npiv, W)
+		return
+	case KernelSIMD:
+		solveBackwardLUSIMD(U, npiv, W)
 		return
 	}
 	n, m := W.R, W.C
@@ -113,8 +125,12 @@ func (kern Kernel) SolveBackwardLU(U *Matrix, npiv int, W *Matrix) {
 // SolveBackwardCholesky applies the L^T backward substitution (row k of
 // L^T is column k of L), dividing by the stored diagonal.
 func (kern Kernel) SolveBackwardCholesky(L *Matrix, npiv int, W *Matrix) {
-	if kern == KernelFast {
+	switch kern.Resolve() {
+	case KernelFast:
 		solveBackwardCholeskyFast(L, npiv, W)
+		return
+	case KernelSIMD:
+		solveBackwardCholeskySIMD(L, npiv, W)
 		return
 	}
 	n, m := W.R, W.C

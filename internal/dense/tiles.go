@@ -131,6 +131,13 @@ func (kern Kernel) LUSolveRows(f *Matrix, k0, k1, r0, r1 int) {
 	for k := k0; k < k1; k++ {
 		invs[k-k0] = 1 / f.A[k*n+k]
 	}
+	kern = kern.Resolve()
+	if kern == KernelSIMD {
+		for i := r0; i < r1; i++ {
+			luSolveRowSIMD(f, f.A[i*n:i*n+n:i*n+n], k0, k1, invs)
+		}
+		return
+	}
 	fast := kern == KernelFast
 	for i := r0; i < r1; i++ {
 		rowI := f.A[i*n : i*n+n : i*n+n]
@@ -170,6 +177,14 @@ func (kern Kernel) LUUpdateTile(f *Matrix, k0, k1, r0, r1, c0, c1 int) {
 	}
 	for k := k0; k < k1; k++ {
 		rks[k-k0] = f.A[k*n+c0 : k*n+c1 : k*n+c1]
+	}
+	kern = kern.Resolve()
+	if kern == KernelSIMD {
+		for i := r0; i < r1; i++ {
+			rowI := f.A[i*n : i*n+n : i*n+n]
+			simdTrailingUpdate(rowI[c0:c1:c1], rowI, rks, k0, k1)
+		}
+		return
 	}
 	if kern == KernelFast {
 		for i := r0; i < r1; i++ {
@@ -251,6 +266,11 @@ func (kern Kernel) CholeskyUpdateTile(f *Matrix, k0, k1, r0, r1, c0, c1 int) {
 		c1 = r1 // columns j > i never occur in the lower triangle
 	}
 	if r1 <= r0 || c1 <= c0 || k1 <= k0 {
+		return
+	}
+	kern = kern.Resolve()
+	if kern == KernelSIMD {
+		choleskyUpdateTileSIMD(f, k0, k1, r0, r1, c0, c1)
 		return
 	}
 	if c0 == k1 && c1 == r1 {

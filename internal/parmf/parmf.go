@@ -162,12 +162,17 @@ type Config struct {
 	// tracing at zero cost: the workers pay a nil check per event and
 	// allocate nothing.
 	Tracer *trace.Tracer
-	// FastKernels selects the reordered-accumulation fast kernel family
-	// (dense.KernelFast) for every front, split or not: fully tiled
-	// updates that trade the bitwise guarantee for speed, validated by
-	// residual. Still deterministic for a fixed BlockRows — the fast
-	// kernels compute the same bits whatever the row partition or worker
-	// count, they just differ from the element-wise reference.
+	// Kernel selects the dense kernel family for every front, split or
+	// not (dense.KernelDefault, KernelFast, KernelSIMD, or KernelAuto,
+	// which resolves to SIMD when the vector path is available and fast
+	// otherwise). The non-default families trade the bitwise guarantee
+	// for speed, validated by residual, and stay deterministic for a
+	// fixed BlockRows — they compute the same bits whatever the row
+	// partition, tile grid or worker count, they just differ from the
+	// element-wise reference.
+	Kernel dense.Kernel
+	// FastKernels is the deprecated boolean form of Kernel=KernelFast; it
+	// is honored only when Kernel is left at the default.
 	FastKernels bool
 	// Faults, when non-nil, arms deterministic fault injection at the
 	// executor's task point (see internal/faults). nil is a zero-cost
@@ -395,10 +400,11 @@ func FactorizeCtx(ctx context.Context, pa *sparse.CSC, tree *assembly.Tree, cfg 
 		cbOwner: make([]int, tree.Len()),
 		loads:   make([]int64, cfg.Workers),
 	}
-	kern := dense.KernelDefault
-	if cfg.FastKernels {
+	kern := cfg.Kernel
+	if kern == dense.KernelDefault && cfg.FastKernels {
 		kern = dense.KernelFast
 	}
+	kern = kern.Resolve() // auto picks simd or fast here, so stats name the family that ran
 	f.kern = kern
 	st.cond = sync.NewCond(&st.mu)
 	st.stats.Workers = cfg.Workers

@@ -7,8 +7,11 @@
 //
 //	go test -run '^$' -benchjson BENCH_kernels.json .
 //
-// runs every kernel benchmark through testing.Benchmark and writes
-// {name, ns_per_op, mb_per_s, allocs_per_op} records to the file. The
+// runs every kernel benchmark through testing.Benchmark and writes an
+// environment header (go version, GOARCH/GOAMD64, detected CPU vector
+// features, GOMAXPROCS) followed by {name, ns_per_op, mb_per_s,
+// allocs_per_op} records to the file — the header makes runs comparable
+// across machines, since the simd rows depend on what the CPU has. The
 // same cases are exposed as ordinary sub-benchmarks of
 // BenchmarkUpdateKernel / BenchmarkExtendAdd / BenchmarkArenaReuse for
 // interactive -bench runs.
@@ -21,6 +24,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -145,6 +150,9 @@ func updateKernelCases() []kernelBenchCase {
 		luCase("fast", func(f *dense.Matrix) error {
 			return dense.KernelFast.PartialLU(f, benchFrontNPiv, 1e-14, dense.DefaultBlockRows)
 		}),
+		luCase("simd", func(f *dense.Matrix) error {
+			return dense.KernelSIMD.PartialLU(f, benchFrontNPiv, 1e-14, dense.DefaultBlockRows)
+		}),
 		cholCase("element", func(f *dense.Matrix) error {
 			return dense.PartialCholesky(f, benchFrontNPiv)
 		}),
@@ -157,13 +165,18 @@ func updateKernelCases() []kernelBenchCase {
 		cholCase("fast", func(f *dense.Matrix) error {
 			return dense.KernelFast.PartialCholesky(f, benchFrontNPiv, dense.DefaultBlockRows)
 		}),
+		cholCase("simd", func(f *dense.Matrix) error {
+			return dense.KernelSIMD.PartialCholesky(f, benchFrontNPiv, dense.DefaultBlockRows)
+		}),
 	}
 }
 
-// BenchmarkUpdateKernel compares the four kernel families on one large
-// front (order 768, 384 pivots, ~30% structural zeros): element-wise,
-// PR-3 blocked, register-blocked (the KernelDefault dispatch — bitwise
-// identical to element-wise), and fast (reordered accumulation).
+// BenchmarkUpdateKernel compares the kernel families on one large front
+// (order 768, 384 pivots, ~30% structural zeros): element-wise, PR-3
+// blocked, register-blocked (the KernelDefault dispatch — bitwise
+// identical to element-wise), fast (reordered accumulation) and simd
+// (fused FMA chains — AVX2/FMA assembly where the CPU has it, the
+// bitwise-identical portable fallback otherwise).
 func BenchmarkUpdateKernel(b *testing.B) {
 	for _, c := range updateKernelCases() {
 		b.Run(c.name[len("UpdateKernel/"):], c.fn)
@@ -194,6 +207,18 @@ func extendAddCases() []kernelBenchCase {
 		}
 		next++
 	}
+	// vector: runs of 32 separated by gaps — long enough that the 4-row
+	// blocked vector adds dominate, short enough that run decode still
+	// shows up. The middle ground between the two extremes above.
+	vec := make([]int, ncb)
+	next = 0
+	for i := range vec {
+		vec[i] = next
+		if (i+1)%32 == 0 {
+			next += 3
+		}
+		next++
+	}
 	bytes := int64(8 * ncb * ncb * 2)
 
 	mk := func(name string, map_ []int, lower bool) kernelBenchCase {
@@ -215,14 +240,17 @@ func extendAddCases() []kernelBenchCase {
 	return []kernelBenchCase{
 		mk("full/contiguous", contig, false),
 		mk("full/fragmented", frag, false),
+		mk("full/vector", vec, false),
 		mk("lower/contiguous", contig, true),
 		mk("lower/fragmented", frag, true),
+		mk("lower/vector", vec, true),
 	}
 }
 
-// BenchmarkExtendAdd measures the run-merged scatter on the two extreme
-// map shapes: one long consecutive run (pure vector adds) and short
-// fragmented runs (the worst case for run detection).
+// BenchmarkExtendAdd measures the run-merged scatter on three map shapes:
+// one long consecutive run (pure vector adds), short fragmented runs of 4
+// (the worst case for run detection, served by the inlined scalar path)
+// and medium runs of 32 (the 4-row blocked vector-add path).
 func BenchmarkExtendAdd(b *testing.B) {
 	for _, c := range extendAddCases() {
 		b.Run(c.name[len("ExtendAdd/"):], c.fn)
@@ -547,6 +575,39 @@ type benchRecord struct {
 	Extra       map[string]float64 `json:"extra,omitempty"` // custom metrics (e.g. root_ms)
 }
 
+// benchEnv is the environment header of the JSON output: the build and
+// machine facts that make two runs comparable (or not) — the simd rows in
+// particular depend on CPUFeatures.
+type benchEnv struct {
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	GOAMD64     string `json:"goamd64,omitempty"` // amd64 microarchitecture level the binary was built for
+	CPUFeatures string `json:"cpu_features"`      // dense.SIMDFeatures(): avx2+fma, avx2+fma(off) or portable
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+}
+
+func benchEnvInfo() benchEnv {
+	e := benchEnv{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUFeatures: dense.SIMDFeatures(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "GOAMD64" {
+				e.GOAMD64 = s.Value
+			}
+		}
+	}
+	if e.GOAMD64 == "" {
+		e.GOAMD64 = os.Getenv("GOAMD64")
+	}
+	return e
+}
+
 func writeKernelBenchJSON(path string) error {
 	var cases []kernelBenchCase
 	cases = append(cases, updateKernelCases()...)
@@ -575,7 +636,11 @@ func writeKernelBenchJSON(path string) error {
 		}
 		recs = append(recs, rec)
 	}
-	out, err := json.MarshalIndent(recs, "", "  ")
+	doc := struct {
+		Env     benchEnv      `json:"env"`
+		Results []benchRecord `json:"results"`
+	}{benchEnvInfo(), recs}
+	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
